@@ -1,0 +1,74 @@
+package aptget
+
+import "testing"
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline run is slow in -short mode")
+	}
+	e, ok := WorkloadByKey("HJ8")
+	if !ok {
+		t.Fatal("HJ8 missing from registry")
+	}
+	cmp, err := Compare(e.New(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.AptGetSpeedup() <= 1.0 {
+		t.Fatalf("APT-GET should speed up HJ8: %.2fx", cmp.AptGetSpeedup())
+	}
+	if cmp.AptGetSpeedup() <= cmp.StaticSpeedup() {
+		t.Fatalf("APT-GET (%.2fx) should beat static (%.2fx) on HJ8",
+			cmp.AptGetSpeedup(), cmp.StaticSpeedup())
+	}
+}
+
+func TestPublicRegistries(t *testing.T) {
+	if len(Workloads()) != 11 {
+		t.Fatalf("want 11 applications, got %d", len(Workloads()))
+	}
+	if len(Experiments()) != 16 {
+		t.Fatalf("want 15 experiments, got %d", len(Experiments()))
+	}
+	if _, ok := WorkloadByKey("nope"); ok {
+		t.Fatal("unknown key should miss")
+	}
+}
+
+func TestMachineConfigs(t *testing.T) {
+	if MachineScaled().Name != "scaled" || MachineXeon5218().Name != "xeon-gold-5218" {
+		t.Fatal("machine presets wrong")
+	}
+	if g := GeoMean([]float64{2, 8}); g != 4 {
+		t.Fatalf("GeoMean = %v", g)
+	}
+}
+
+func TestPlanTransferAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline run is slow in -short mode")
+	}
+	e, _ := WorkloadByKey("IS")
+	w := e.New()
+	prof, plans, err := ProfileAndPlan(w, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof == nil || len(prof.Samples) == 0 {
+		t.Fatal("profile empty")
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plans")
+	}
+	base, err := RunBaseline(e.New(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := RunWithPlans(e.New(), plans, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Speedup(base) <= 1.0 {
+		t.Fatalf("plans should speed IS up: %.2fx", opt.Speedup(base))
+	}
+}

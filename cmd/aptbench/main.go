@@ -1,0 +1,62 @@
+// Command aptbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	aptbench -exp fig6          # one experiment (see -list)
+//	aptbench -exp all           # everything (several minutes)
+//	aptbench -exp fig8 -quick   # representative app subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"aptget/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (or 'all')")
+	quick := flag.Bool("quick", false, "restrict sweeps to a representative app subset")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, n := range experiments.Names() {
+			fmt.Printf("  %s\n", n)
+		}
+		if *exp == "" {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opt := experiments.Options{Quick: *quick}
+	var ids []string
+	if *exp == "all" {
+		for n := range all {
+			ids = append(ids, n)
+		}
+		sort.Strings(ids)
+	} else {
+		if _, ok := all[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "aptbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		res, err := all[id](opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aptbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (%.1fs) ==\n%s\n", id, time.Since(start).Seconds(), res)
+	}
+}

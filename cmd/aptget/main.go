@@ -1,0 +1,116 @@
+// Command aptget runs one benchmark under a chosen prefetching variant
+// and prints a perf-stat-style report, the prefetch plans, and the
+// headline speedup.
+//
+// Usage:
+//
+//	aptget -app BFS                  # baseline vs A&J vs APT-GET
+//	aptget -app HJ8 -variant aptget  # one variant only
+//	aptget -list                     # application list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aptget/internal/core"
+	"aptget/internal/passes"
+	"aptget/internal/workloads"
+)
+
+func main() {
+	app := flag.String("app", "", "application key (see -list)")
+	variant := flag.String("variant", "compare", "baseline | static | aptget | compare")
+	staticDist := flag.Int64("static-distance", 32, "prefetch distance for the static pass")
+	dump := flag.Bool("dump", false, "print the IR after APT-GET's transformation")
+	list := flag.Bool("list", false, "list applications")
+	flag.Parse()
+
+	if *list || *app == "" {
+		fmt.Println("applications:")
+		for _, e := range workloads.Registry() {
+			fmt.Printf("  %-8s %s\n", e.Key, e.Description)
+		}
+		if *app == "" {
+			os.Exit(2)
+		}
+		return
+	}
+
+	entry, ok := workloads.ByKey(*app)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "aptget: unknown application %q (use -list)\n", *app)
+		os.Exit(2)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Static.Distance = *staticDist
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "aptget: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *dump {
+		w := entry.New()
+		_, plans, err := core.ProfileAndPlan(w, cfg)
+		if err != nil {
+			fail(err)
+		}
+		p, err := w.Build()
+		if err != nil {
+			fail(err)
+		}
+		rep, err := passes.AptGet(p, plans, cfg.Inject)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("; %s after APT-GET (%s)\n%s", entry.Key, rep, p.Func)
+		return
+	}
+
+	switch *variant {
+	case "baseline":
+		r, err := core.RunBaseline(entry.New(), cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s (baseline)\n%s", entry.Key, r.Counters.String())
+	case "static":
+		r, err := core.RunStatic(entry.New(), cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s (ainsworth-jones, D=%d)\n%s", entry.Key, *staticDist, r.Counters.String())
+		fmt.Printf("pass: %s\n", r.Report)
+	case "aptget":
+		r, err := core.RunAptGet(entry.New(), cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s (apt-get)\n%s", entry.Key, r.Counters.String())
+		fmt.Printf("pass: %s\n", r.Report)
+		for _, p := range r.Plans {
+			fmt.Printf("plan: %-18s pc=%d distance=%d site=%s trip=%.1f IC=%.0f MC=%.0f %s\n",
+				p.LoadName, p.LoadPC, p.Distance, p.Site, p.AvgTrip, p.Inner.IC, p.Inner.MC, p.Fallback)
+		}
+	case "compare":
+		cmp, err := core.Compare(entry.New(), cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s\n", entry.Key)
+		fmt.Printf("  baseline: %12d cycles\n", cmp.Base.Counters.Cycles)
+		fmt.Printf("  A&J:      %12d cycles  %.2fx\n",
+			cmp.Static.Counters.Cycles, cmp.StaticSpeedup())
+		fmt.Printf("  APT-GET:  %12d cycles  %.2fx\n",
+			cmp.AptGet.Counters.Cycles, cmp.AptGetSpeedup())
+		for _, p := range cmp.AptGet.Plans {
+			fmt.Printf("  plan: %-18s pc=%d distance=%d site=%s trip=%.1f %s\n",
+				p.LoadName, p.LoadPC, p.Distance, p.Site, p.AvgTrip, p.Fallback)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "aptget: unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+}

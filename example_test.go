@@ -1,0 +1,26 @@
+package aptget_test
+
+import (
+	"fmt"
+
+	"aptget"
+	"aptget/internal/workloads"
+)
+
+// Example runs the paper's trip-count-4 microbenchmark through the full
+// pipeline: profile → Equations 1/2 → injection → verified execution.
+func Example() {
+	w := workloads.NewMicro(4, workloads.ComplexityLow)
+	cmp, err := aptget.Compare(w, aptget.DefaultConfig())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	plan := cmp.AptGet.Plans[0]
+	fmt.Printf("site: %s\n", plan.Site)
+	fmt.Printf("APT-GET beats the static pass: %v\n",
+		cmp.AptGetSpeedup() > cmp.StaticSpeedup())
+	// Output:
+	// site: outer
+	// APT-GET beats the static pass: true
+}

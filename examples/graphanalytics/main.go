@@ -1,0 +1,51 @@
+// Graph analytics: optimize BFS and PageRank over a synthetic web graph
+// (the paper's CRONO scenario) and report speedups, cache behaviour, and
+// the per-load prefetch plans.
+//
+//	go run ./examples/graphanalytics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aptget"
+	"aptget/internal/graphgen"
+	"aptget/internal/workloads"
+)
+
+func main() {
+	cfg := aptget.DefaultConfig()
+
+	// A scaled web-crawl-like graph (power-law degrees, hub bias).
+	g := graphgen.PowerLaw("web", 64_000, 6, 42)
+	fmt.Printf("graph: %d vertices, %d edges, avg degree %.1f\n\n",
+		g.N, g.M(), g.AvgDegree())
+
+	src := workloads.TopDegreeVertices(g, 1)[0]
+	for _, w := range []aptget.Workload{
+		workloads.NewBFS("bfs/web", g, src),
+		workloads.NewPageRank("pr/web", g, 2),
+	} {
+		cmp, err := aptget.Compare(w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", w.Name())
+		fmt.Printf("  baseline   : MPKI %.1f, %.0f%% cycles memory bound\n",
+			cmp.Base.Counters.MPKI(), 100*cmp.Base.Counters.MemBoundFraction())
+		fmt.Printf("  static A&J : %.2fx speedup (MPKI %.1f)\n",
+			cmp.StaticSpeedup(), cmp.Static.Counters.MPKI())
+		fmt.Printf("  APT-GET    : %.2fx speedup (MPKI %.1f)\n",
+			cmp.AptGetSpeedup(), cmp.AptGet.Counters.MPKI())
+		for _, p := range cmp.AptGet.Plans {
+			note := p.Fallback
+			if note == "" {
+				note = fmt.Sprintf("IC=%.0f MC=%.0f", p.Inner.IC, p.Inner.MC)
+			}
+			fmt.Printf("  plan: pc=%-4d site=%-5s distance=%-3d trip=%-5.1f %s\n",
+				p.LoadPC, p.Site, p.Distance, p.AvgTrip, note)
+		}
+		fmt.Println()
+	}
+}

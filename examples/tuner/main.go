@@ -1,0 +1,61 @@
+// Tuner: use the profiling API directly — inspect the LBR-derived loop
+// latency distribution of a delinquent load, the Equation 1 arithmetic,
+// and validate the chosen distance against a manual sweep.
+//
+//	go run ./examples/tuner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aptget"
+	"aptget/internal/peaks"
+	"aptget/internal/workloads"
+)
+
+func main() {
+	cfg := aptget.DefaultConfig()
+	w := workloads.NewMicro(256, workloads.ComplexityMedium)
+
+	_, plans, err := aptget.ProfileAndPlan(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(plans) == 0 {
+		log.Fatal("no delinquent loads found")
+	}
+	p := plans[0]
+
+	fmt.Printf("delinquent load pc=%d\n\n", p.LoadPC)
+	fmt.Println("loop-iteration latency distribution (from LBR samples):")
+	h := peaks.NewHistogram(p.Inner.Latencies, 2)
+	fmt.Print(h)
+	fmt.Printf("\nCWT peaks: %v\n", p.Inner.Peaks)
+	fmt.Printf("Equation 1: IC=%.0f cycles, MC=%.0f cycles -> distance=%d\n\n",
+		p.Inner.IC, p.Inner.MC, p.Distance)
+
+	// Manual sweep for comparison (what APT-GET replaces with one
+	// profiling run).
+	base, err := aptget.RunBaseline(w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("manual distance sweep (static pass):")
+	bestSp, bestD := 0.0, int64(0)
+	for _, d := range []int64{1, 2, 4, 8, 16, 32, 64} {
+		c := cfg
+		c.Static.Distance = d
+		r, err := aptget.RunStatic(workloads.NewMicro(256, workloads.ComplexityMedium), c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp := r.Speedup(base)
+		fmt.Printf("  D=%-3d %.2fx\n", d, sp)
+		if sp > bestSp {
+			bestSp, bestD = sp, d
+		}
+	}
+	fmt.Printf("\nsweep optimum D=%d (%.2fx); LBR picked D=%d without any sweep\n",
+		bestD, bestSp, p.Distance)
+}

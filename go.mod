@@ -1,0 +1,3 @@
+module aptget
+
+go 1.22

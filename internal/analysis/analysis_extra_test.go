@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"testing"
+
+	"aptget/internal/ir"
+	"aptget/internal/lbr"
+	"aptget/internal/mem"
+	"aptget/internal/profile"
+)
+
+// synthSamples builds LBR samples whose latch deltas follow the given
+// per-iteration latencies, repeated per snapshot.
+func synthSamples(latch uint64, latencies []uint64, snapshots int) []lbr.Sample {
+	var out []lbr.Sample
+	cyc := uint64(0)
+	for s := 0; s < snapshots; s++ {
+		var entries []lbr.Entry
+		for i := 0; i < 30; i++ {
+			cyc += latencies[i%len(latencies)]
+			entries = append(entries, lbr.Entry{From: latch, Cycle: cyc})
+		}
+		out = append(out, lbr.Sample{Cycle: cyc, Entries: entries})
+	}
+	return out
+}
+
+func TestMeasureLoopBimodalICMC(t *testing.T) {
+	opt := Options{}
+	opt.fill()
+	// Alternate fast (20) and slow (240) iterations: peaks at both.
+	lt := measureLoop([]uint64{7}, nil, synthSamples(7, []uint64{20, 20, 20, 240}, 20), opt)
+	if len(lt.Peaks) < 2 {
+		t.Fatalf("expected bimodal peaks, got %v", lt.Peaks)
+	}
+	if lt.IC < 15 || lt.IC > 25 {
+		t.Fatalf("IC = %.0f, want ≈20", lt.IC)
+	}
+	if lt.MC < 200 || lt.MC > 240 {
+		t.Fatalf("MC = %.0f, want ≈220", lt.MC)
+	}
+}
+
+func TestMeasureLoopICRecoveryWithoutHitPopulation(t *testing.T) {
+	opt := Options{}
+	opt.fill() // DRAMLatency 220
+	// Fast population at 70 (LLC-served: IC 28 + 42) and slow at 248
+	// (DRAM-served: IC 28 + 220). The lowest peak (70) is NOT the IC;
+	// the recovery yields 248-220 = 28.
+	lt := measureLoop([]uint64{7}, nil, synthSamples(7, []uint64{70, 70, 248, 248}, 20), opt)
+	if len(lt.Peaks) < 2 {
+		t.Fatalf("expected bimodal, got %v", lt.Peaks)
+	}
+	if lt.IC < 24 || lt.IC > 32 {
+		t.Fatalf("recovered IC = %.0f, want ≈28", lt.IC)
+	}
+}
+
+func TestMeasureLoopRawICAblation(t *testing.T) {
+	opt := Options{RawIC: true}
+	opt.fill()
+	lt := measureLoop([]uint64{7}, nil, synthSamples(7, []uint64{70, 70, 248, 248}, 20), opt)
+	if lt.IC < 65 || lt.IC > 75 {
+		t.Fatalf("raw IC should be the lowest peak ≈70, got %.0f", lt.IC)
+	}
+}
+
+func TestMeasureLoopAllMissSinglePeak(t *testing.T) {
+	opt := Options{}
+	opt.fill()
+	// Every iteration misses: one peak at 240 > DRAMLatency → IC = 20.
+	lt := measureLoop([]uint64{7}, nil, synthSamples(7, []uint64{240}, 20), opt)
+	if len(lt.Peaks) != 1 {
+		t.Fatalf("expected unimodal, got %v", lt.Peaks)
+	}
+	if lt.IC < 16 || lt.IC > 24 {
+		t.Fatalf("all-miss IC = %.0f, want ≈20", lt.IC)
+	}
+	if lt.MC < 200 {
+		t.Fatalf("all-miss MC = %.0f, want ≈220", lt.MC)
+	}
+	d := distanceFromTiming(lt, opt)
+	if d < 9 || d > 14 {
+		t.Fatalf("all-miss distance = %d, want ≈11", d)
+	}
+}
+
+func TestMeasureLoopUnimodalBelowDRAMHasNoMC(t *testing.T) {
+	opt := Options{}
+	opt.fill()
+	// All iterations fast: no memory component (HJ2 bucket-scan shape).
+	lt := measureLoop([]uint64{7}, nil, synthSamples(7, []uint64{12}, 20), opt)
+	if lt.MC != 0 || lt.IC != 0 {
+		t.Fatalf("fast unimodal loop must yield no IC/MC, got %v/%v", lt.IC, lt.MC)
+	}
+}
+
+func TestRecurrenceDistanceIsOverheadAware(t *testing.T) {
+	// A RandomAccess-style kernel: the induction variable is a xorshift
+	// recurrence, so each unit of prefetch distance costs an unrolled
+	// update chain. The chosen distance must stay below the naive
+	// Equation 1 value ceil(MC/IC).
+	b := ir.NewBuilder("recur")
+	table := b.Alloc("T", 1<<18, 8)
+	cnt := b.Alloc("cnt", 1, 8)
+	out := b.Alloc("out", 1, 8)
+	zero := b.Const(0)
+	one := b.Const(1)
+	mask := b.Const((1 << 18) - 1)
+	b.LoopCustom("s", b.Const(99991),
+		func(s ir.Value) ir.Value {
+			x := b.Xor(s, b.Shl(s, b.Const(13)))
+			x = b.Xor(x, b.Shr(x, b.Const(17)))
+			x = b.Xor(x, b.Shl(x, b.Const(5)))
+			return b.And(x, mask)
+		},
+		func(next ir.Value) ir.Value {
+			c := b.LoadElem(cnt, zero)
+			c1 := b.Add(c, one)
+			b.StoreElem(cnt, zero, c1)
+			return b.Cmp(ir.PredLT, c1, b.Const(60000))
+		},
+		nil,
+		func(s ir.Value) {
+			v := b.LoadElem(table, s)
+			acc := b.LoadElem(out, zero)
+			b.StoreElem(out, zero, b.Add(acc, v))
+		})
+	p := b.Finish()
+	prof, err := profile.Collect(p, mem.ConfigScaled(), nil, profile.Options{
+		SamplePeriod: 20_000, PEBSPeriod: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := Analyze(p, prof, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plans")
+	}
+	plan := plans[0]
+	if plan.Inner.IC <= 0 || plan.Inner.MC <= 0 {
+		t.Fatalf("all-miss recurrence loop should be measurable: IC=%.0f MC=%.0f (fallback %q)",
+			plan.Inner.IC, plan.Inner.MC, plan.Fallback)
+	}
+	naive := int64(plan.Inner.MC/plan.Inner.IC) + 1
+	if plan.InnerDistance >= naive {
+		t.Fatalf("recurrence distance %d should undercut naive %d", plan.InnerDistance, naive)
+	}
+	if plan.InnerDistance < 2 || plan.InnerDistance > 8 {
+		t.Fatalf("recurrence distance %d out of expected band", plan.InnerDistance)
+	}
+}

@@ -1,0 +1,392 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"aptget/internal/ir"
+	"aptget/internal/lbr"
+	"aptget/internal/mem"
+	"aptget/internal/pebs"
+	"aptget/internal/profile"
+)
+
+func TestDistanceFromTimingEquation1(t *testing.T) {
+	opt := Options{}
+	opt.fill()
+	cases := []struct {
+		ic, mc float64
+		want   int64
+	}{
+		{10, 220, 22},
+		{10, 225, 23}, // ceil
+		{50, 220, 5},
+		{220, 220, 1},
+		{10, 0, 1},      // clamp low
+		{1, 10000, 256}, // clamp high
+		{0, 100, 1},     // degenerate IC
+	}
+	for _, c := range cases {
+		got := distanceFromTiming(LoopTiming{IC: c.ic, MC: c.mc}, opt)
+		if got != c.want {
+			t.Fatalf("distance(IC=%v, MC=%v) = %d, want %d", c.ic, c.mc, got, c.want)
+		}
+	}
+}
+
+// mkSample builds an LBR sample from (from, cycle) pairs.
+func mkSample(pairs ...[2]uint64) lbr.Sample {
+	s := lbr.Sample{}
+	for _, p := range pairs {
+		s.Entries = append(s.Entries, lbr.Entry{From: p[0], To: 0, Cycle: p[1]})
+	}
+	if n := len(s.Entries); n > 0 {
+		s.Cycle = s.Entries[n-1].Cycle
+	}
+	return s
+}
+
+func TestMeasureLoopDeltas(t *testing.T) {
+	opt := Options{}
+	opt.fill()
+	const latch = 100
+	s := mkSample([2]uint64{latch, 10}, [2]uint64{latch, 30}, [2]uint64{latch, 55})
+	lt := measureLoop([]uint64{latch}, nil, []lbr.Sample{s}, opt)
+	if len(lt.Latencies) != 2 || lt.Latencies[0] != 20 || lt.Latencies[1] != 25 {
+		t.Fatalf("latencies = %v, want [20 25]", lt.Latencies)
+	}
+}
+
+func TestMeasureLoopBreakerFiltersOuterSpans(t *testing.T) {
+	opt := Options{}
+	opt.fill()
+	const inner, outer = 100, 200
+	// Two inner iterations, outer latch, two more inner iterations. The
+	// delta across the outer latch (1000→2000) must be discarded.
+	s := mkSample(
+		[2]uint64{inner, 10}, [2]uint64{inner, 30},
+		[2]uint64{outer, 1000},
+		[2]uint64{inner, 2000}, [2]uint64{inner, 2020},
+	)
+	lt := measureLoop([]uint64{inner}, []uint64{outer}, []lbr.Sample{s}, opt)
+	if len(lt.Latencies) != 2 {
+		t.Fatalf("latencies = %v, want 2 deltas", lt.Latencies)
+	}
+	for _, l := range lt.Latencies {
+		if l != 20 {
+			t.Fatalf("outer-span delta leaked in: %v", lt.Latencies)
+		}
+	}
+}
+
+func TestTripRunsAndAvgTrip(t *testing.T) {
+	const inner, outer = 100, 200
+	// outer; 3 inner back-edges; outer; 2 inner; outer → runs [3, 2]
+	// → trips [4, 3] → avg 3.5.
+	s := mkSample(
+		[2]uint64{outer, 5},
+		[2]uint64{inner, 10}, [2]uint64{inner, 20}, [2]uint64{inner, 30},
+		[2]uint64{outer, 40},
+		[2]uint64{inner, 50}, [2]uint64{inner, 60},
+		[2]uint64{outer, 70},
+	)
+	runs := tripRuns([]uint64{inner}, []uint64{outer}, []lbr.Sample{s})
+	if len(runs) != 2 || runs[0] != 3 || runs[1] != 2 {
+		t.Fatalf("runs = %v, want [3 2]", runs)
+	}
+	if got := avgTrip(runs); got != 3.5 {
+		t.Fatalf("avgTrip = %v, want 3.5", got)
+	}
+	if got := avgTrip(nil); got != 0 {
+		t.Fatalf("avgTrip(nil) = %v, want 0", got)
+	}
+}
+
+func TestTripRunsIgnoreLeadingPartialWindow(t *testing.T) {
+	const inner, outer = 100, 200
+	// Entries before the first outer latch form a partial window and
+	// must not produce a run.
+	s := mkSample(
+		[2]uint64{inner, 1}, [2]uint64{inner, 2},
+		[2]uint64{outer, 10},
+		[2]uint64{inner, 20},
+		[2]uint64{outer, 30},
+	)
+	runs := tripRuns([]uint64{inner}, []uint64{outer}, []lbr.Sample{s})
+	if len(runs) != 1 || runs[0] != 1 {
+		t.Fatalf("runs = %v, want [1]", runs)
+	}
+}
+
+// buildIndirectNested returns the microbenchmark skeleton:
+//
+//	for i in [0, outer): for j in [0, inner): sum += T[B[i*inner+j]]
+//
+// plus the arrays for initialization.
+func buildIndirectNested(outer, inner, table int64, work int) (*ir.Program, ir.Array, ir.Array) {
+	b := ir.NewBuilder("microbench")
+	bArr := b.Alloc("B", outer*inner, 8)
+	tArr := b.Alloc("T", table, 8)
+	out := b.Alloc("out", 1, 8)
+	zero := b.Const(0)
+	b.Loop("i", zero, b.Const(outer), 1, func(i ir.Value) {
+		base := b.Mul(i, b.Const(inner))
+		b.Loop("j", zero, b.Const(inner), 1, func(j ir.Value) {
+			idx := b.LoadElem(bArr, b.Add(base, j))
+			v := b.LoadElem(tArr, idx)
+			// Work function: a dependent ALU chain.
+			acc := v
+			for w := 0; w < work; w++ {
+				acc = b.Xor(b.Add(acc, b.Const(int64(w+1))), acc)
+			}
+			old := b.LoadElem(out, zero)
+			b.StoreElem(out, zero, b.Add(old, acc))
+		})
+	})
+	return b.Finish(), bArr, tArr
+}
+
+func initArrays(bArr, tArr ir.Array) func(*mem.Arena) {
+	return func(a *mem.Arena) {
+		rng := rand.New(rand.NewSource(42))
+		for i := int64(0); i < bArr.Count; i++ {
+			a.Write(bArr.Addr(i), rng.Int63n(tArr.Count), 8)
+		}
+	}
+}
+
+func collect(t *testing.T, p *ir.Program, bArr, tArr ir.Array) *profile.Profile {
+	t.Helper()
+	prof, err := profile.Collect(p, mem.ConfigScaled(), initArrays(bArr, tArr), profile.Options{
+		SamplePeriod: 20_000,
+		PEBSPeriod:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestAnalyzeLBROverflowKeepsInnerSite(t *testing.T) {
+	// INNER=256 ≫ LBR width: the 32-entry ring never spans a full inner
+	// loop, so the trip count is unmeasurable. Per §3.6 this is harmless:
+	// the distance still comes from Equation (1) and the site stays
+	// inner.
+	p, bArr, tArr := buildIndirectNested(64, 256, 1<<18, 0)
+	prof := collect(t, p, bArr, tArr)
+	if len(prof.Loads) == 0 {
+		t.Fatal("no delinquent loads found")
+	}
+	plans, err := Analyze(p, prof, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plans")
+	}
+	plan := plans[0]
+	if plan.Site != SiteInner {
+		t.Fatalf("LBR overflow must keep inner site, got %v", plan.Site)
+	}
+	if plan.AvgTrip != 0 {
+		t.Fatalf("trip should be unmeasurable, got %.1f", plan.AvgTrip)
+	}
+	// Equation 1 sanity: with DRAM ≈ 220+ cycles and a tight loop the
+	// distance must be substantial but bounded.
+	if plan.Distance < 4 || plan.Distance > 128 {
+		t.Fatalf("distance = %d out of plausible band (IC=%.0f MC=%.0f peaks=%v)",
+			plan.Distance, plan.Inner.IC, plan.Inner.MC, plan.Inner.Peaks)
+	}
+	if len(plan.Inner.Peaks) < 2 {
+		t.Fatalf("expected ≥2 latency peaks, got %v", plan.Inner.Peaks)
+	}
+}
+
+func TestAnalyzeMeasurableTripKeepsInnerSite(t *testing.T) {
+	// A heavy work function makes IC large and the distance small, so a
+	// trip count of 24 (measurable inside 32 LBR entries) satisfies
+	// Equation (2) for the inner site.
+	p, bArr, tArr := buildIndirectNested(1024, 24, 1<<18, 64)
+	prof := collect(t, p, bArr, tArr)
+	plans, err := Analyze(p, prof, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plans")
+	}
+	plan := plans[0]
+	if plan.Fallback != "" {
+		t.Fatalf("unexpected fallback: %s", plan.Fallback)
+	}
+	if plan.AvgTrip < 20 || plan.AvgTrip > 28 {
+		t.Fatalf("avg trip = %.1f, want ≈24", plan.AvgTrip)
+	}
+	if plan.Site != SiteInner {
+		t.Fatalf("trip %.1f with distance %d should keep inner site",
+			plan.AvgTrip, plan.InnerDistance)
+	}
+	if plan.InnerDistance > 6 {
+		t.Fatalf("heavy work should shrink the distance, got %d", plan.InnerDistance)
+	}
+}
+
+func TestAnalyzeEndToEndSmallTripPrefersOuter(t *testing.T) {
+	// INNER=4 ≪ K×distance: outer-loop injection expected.
+	p, bArr, tArr := buildIndirectNested(4096, 4, 1<<18, 0)
+	prof := collect(t, p, bArr, tArr)
+	plans, err := Analyze(p, prof, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plans")
+	}
+	plan := plans[0]
+	if plan.AvgTrip < 3 || plan.AvgTrip > 5 {
+		t.Fatalf("avg trip = %.1f, want ≈4", plan.AvgTrip)
+	}
+	if plan.Site != SiteOuter {
+		t.Fatalf("small trip count should select outer site (trip %.1f, inner dist %d, fallback %q)",
+			plan.AvgTrip, plan.InnerDistance, plan.Fallback)
+	}
+	if plan.OuterDistance < 1 {
+		t.Fatalf("outer distance = %d", plan.OuterDistance)
+	}
+	if plan.Outer == nil || len(plan.Outer.Latencies) == 0 {
+		t.Fatal("outer loop timing missing")
+	}
+}
+
+func TestAnalyzeDisableOuterAblation(t *testing.T) {
+	p, bArr, tArr := buildIndirectNested(4096, 4, 1<<18, 0)
+	prof := collect(t, p, bArr, tArr)
+	plans, err := Analyze(p, prof, Options{DisableOuter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plans")
+	}
+	if plans[0].Site != SiteInner {
+		t.Fatal("DisableOuter must force inner site")
+	}
+}
+
+func TestAnalyzeHigherWorkLowersDistance(t *testing.T) {
+	// The paper's Figure 1 insight: heavier work functions need smaller
+	// distances (IC_latency grows, MC_latency fixed).
+	pLow, b1, t1 := buildIndirectNested(32, 256, 1<<18, 0)
+	pHigh, b2, t2 := buildIndirectNested(32, 256, 1<<18, 24)
+	profLow := collect(t, pLow, b1, t1)
+	profHigh := collect(t, pHigh, b2, t2)
+	plansLow, err := Analyze(pLow, profLow, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plansHigh, err := Analyze(pHigh, profHigh, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plansLow) == 0 || len(plansHigh) == 0 {
+		t.Fatal("missing plans")
+	}
+	dl, dh := plansLow[0].InnerDistance, plansHigh[0].InnerDistance
+	if dh >= dl {
+		t.Fatalf("high-work distance %d should be below low-work distance %d", dh, dl)
+	}
+}
+
+func TestAnalyzeSyntheticFallbackUnimodal(t *testing.T) {
+	// Fabricate a profile whose loop latencies are unimodal: the plan
+	// must fall back to distance 1.
+	p, bArr, _ := buildIndirectNested(4, 4, 64, 0)
+	f := p.Func
+	// Find the T load (the delinquent one): the load whose address chain
+	// contains another load.
+	var loadPC uint64
+	for vi := range f.Instrs {
+		ins := &f.Instrs[vi]
+		if ins.Op != ir.OpLoad {
+			continue
+		}
+		addr := f.Instr(ins.Args[0])
+		if addr.Op == ir.OpAdd {
+			for _, a := range addr.Args {
+				if f.Instr(a).Op == ir.OpShl &&
+					f.Instr(f.Instr(a).Args[0]).Op == ir.OpLoad {
+					loadPC = ins.PC
+				}
+			}
+		}
+	}
+	if loadPC == 0 {
+		t.Fatal("could not locate indirect load")
+	}
+	_ = bArr
+	loop := ir.AnalyzeLoops(f).InnermostFor(f.BlockOf(loadPC).ID)
+	latch := latchPCs(f, loop)[0]
+
+	var samples []lbr.Sample
+	cyc := uint64(0)
+	for s := 0; s < 8; s++ {
+		var pairs [][2]uint64
+		for i := 0; i < 24; i++ {
+			cyc += 20 // constant iteration time → unimodal
+			pairs = append(pairs, [2]uint64{latch, cyc})
+		}
+		samples = append(samples, mkSample(pairs...))
+	}
+	sampler := pebs.NewSampler(1)
+	for i := 0; i < 100; i++ {
+		sampler.ObserveMiss(loadPC)
+	}
+	prof := &profile.Profile{Samples: samples, Loads: sampler.Delinquent(0)}
+	plans, err := Analyze(p, prof, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 1 {
+		t.Fatalf("want 1 plan, got %d", len(plans))
+	}
+	if plans[0].Fallback == "" || plans[0].Distance != 1 {
+		t.Fatalf("unimodal profile should fall back to distance 1: %+v", plans[0])
+	}
+}
+
+func TestAnalyzeSyntheticFallbackNoSamples(t *testing.T) {
+	p, _, _ := buildIndirectNested(4, 4, 64, 0)
+	f := p.Func
+	var loadPC uint64
+	for vi := range f.Instrs {
+		if f.Instrs[vi].Op == ir.OpLoad {
+			loadPC = f.Instrs[vi].PC // any load in a loop
+		}
+	}
+	sampler := pebs.NewSampler(1)
+	sampler.ObserveMiss(loadPC)
+	prof := &profile.Profile{Loads: sampler.Delinquent(0)} // no LBR samples
+	plans, err := Analyze(p, prof, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 1 || plans[0].Distance != 1 || plans[0].Fallback == "" {
+		t.Fatalf("no-sample profile should default to distance 1: %+v", plans)
+	}
+}
+
+func TestAnalyzeRejectsNonLoadPC(t *testing.T) {
+	p, _, _ := buildIndirectNested(4, 4, 64, 0)
+	sampler := pebs.NewSampler(1)
+	sampler.ObserveMiss(0) // PC 0 is a const in the entry block
+	prof := &profile.Profile{Loads: sampler.Delinquent(0)}
+	if _, err := Analyze(p, prof, Options{}); err == nil {
+		t.Fatal("expected error for non-load delinquent PC")
+	}
+}
+
+func TestSiteString(t *testing.T) {
+	if SiteInner.String() != "inner" || SiteOuter.String() != "outer" {
+		t.Fatal("site names wrong")
+	}
+}

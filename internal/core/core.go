@@ -1,0 +1,211 @@
+// Package core is the paper's primary contribution assembled into a
+// pipeline: profile an application once with LBR+PEBS sampling (§3.1,
+// §3.4), derive per-delinquent-load prefetch distances and injection
+// sites from the analytical model (§3.2–§3.3), inject prefetch slices
+// with the compiler pass (§3.5), and run the optimized build. The static
+// Ainsworth & Jones pass and the no-prefetching baseline are provided as
+// the paper's comparison points (§4.1).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"aptget/internal/analysis"
+	"aptget/internal/cpu"
+	"aptget/internal/ir"
+	"aptget/internal/mem"
+	"aptget/internal/passes"
+	"aptget/internal/pmu"
+	"aptget/internal/profile"
+)
+
+// Workload is an application under optimization. Build must be
+// deterministic: repeated calls produce structurally identical programs
+// (same instruction order, hence same PCs), so plans computed on one
+// build apply to another. InitMem seeds the data; Verify checks the
+// computation's result against a native Go reference implementation.
+type Workload interface {
+	Name() string
+	Build() (*ir.Program, error)
+	InitMem(*mem.Arena)
+	Verify(*mem.Arena) error
+}
+
+// Config bundles the knobs of the whole pipeline.
+type Config struct {
+	Machine  mem.Config
+	Profile  profile.Options
+	Analysis analysis.Options
+	Inject   passes.AptGetOptions
+	Static   passes.StaticOptions
+
+	// SkipVerify disables result verification (benchmark sweeps where
+	// the same workload is verified once already).
+	SkipVerify bool
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation:
+// the scaled Table 2 machine with default profiling and analysis options.
+func DefaultConfig() Config {
+	return Config{Machine: mem.ConfigScaled()}
+}
+
+func (c *Config) fill() {
+	if c.Machine.Name == "" {
+		c.Machine = mem.ConfigScaled()
+	}
+	if c.Analysis.DRAMLatency == 0 {
+		c.Analysis.DRAMLatency = float64(c.Machine.DRAMLatency)
+	}
+}
+
+// Result is the outcome of running one build of a workload.
+type Result struct {
+	Variant  string // "baseline", "ainsworth-jones", "apt-get", ...
+	Counters pmu.Counters
+	Report   *passes.Report  // injection report; nil for the baseline
+	Plans    []analysis.Plan // apt-get only
+}
+
+// Speedup returns base.Cycles / r.Cycles.
+func (r *Result) Speedup(base *Result) float64 {
+	return r.Counters.Speedup(&base.Counters)
+}
+
+// RunBaseline executes the unmodified program.
+func RunBaseline(w Workload, cfg Config) (*Result, error) {
+	cfg.fill()
+	p, err := w.Build()
+	if err != nil {
+		return nil, fmt.Errorf("core: build %s: %w", w.Name(), err)
+	}
+	return execute(w, p, cfg, "baseline", nil, nil)
+}
+
+// RunStatic applies the Ainsworth & Jones static pass and executes the
+// result.
+func RunStatic(w Workload, cfg Config) (*Result, error) {
+	cfg.fill()
+	p, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := passes.AinsworthJones(p, cfg.Static)
+	if err != nil {
+		return nil, fmt.Errorf("core: static pass on %s: %w", w.Name(), err)
+	}
+	return execute(w, p, cfg, "ainsworth-jones", rep, nil)
+}
+
+// ProfileAndPlan runs the profiling build and the analytical model,
+// returning the prefetch plans (and the raw profile for inspection).
+func ProfileAndPlan(w Workload, cfg Config) (*profile.Profile, []analysis.Plan, error) {
+	cfg.fill()
+	p, err := w.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	prof, err := profile.Collect(p, cfg.Machine, w.InitMem, cfg.Profile)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: profiling %s: %w", w.Name(), err)
+	}
+	plans, err := analysis.Analyze(p, prof, cfg.Analysis)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: analyzing %s: %w", w.Name(), err)
+	}
+	return prof, plans, nil
+}
+
+// RunAptGet runs the full APT-GET pipeline: profile, analyze, inject,
+// execute.
+func RunAptGet(w Workload, cfg Config) (*Result, error) {
+	cfg.fill()
+	_, plans, err := ProfileAndPlan(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return RunWithPlans(w, plans, cfg)
+}
+
+// RunWithPlans injects the given plans into a fresh build of w and
+// executes it. Used directly for the paper's train/test input study
+// (Figure 12): plans computed on the training input are applied to a
+// workload with a different dataset.
+func RunWithPlans(w Workload, plans []analysis.Plan, cfg Config) (*Result, error) {
+	cfg.fill()
+	p, err := w.Build()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := passes.AptGet(p, plans, cfg.Inject)
+	if err != nil {
+		return nil, fmt.Errorf("core: apt-get pass on %s: %w", w.Name(), err)
+	}
+	return execute(w, p, cfg, "apt-get", rep, plans)
+}
+
+func execute(w Workload, p *ir.Program, cfg Config, variant string,
+	rep *passes.Report, plans []analysis.Plan) (*Result, error) {
+
+	res, err := cpu.Run(p, cfg.Machine, cpu.Options{InitMem: w.InitMem})
+	if err != nil {
+		return nil, fmt.Errorf("core: running %s (%s): %w", w.Name(), variant, err)
+	}
+	if !cfg.SkipVerify {
+		if err := w.Verify(res.Hier.Arena); err != nil {
+			return nil, fmt.Errorf("core: %s (%s) computed a wrong result: %w",
+				w.Name(), variant, err)
+		}
+	}
+	return &Result{
+		Variant:  variant,
+		Counters: res.Counters,
+		Report:   rep,
+		Plans:    plans,
+	}, nil
+}
+
+// Comparison is the three-way result the paper's headline figures use.
+type Comparison struct {
+	Workload string
+	Base     *Result
+	Static   *Result
+	AptGet   *Result
+}
+
+// StaticSpeedup returns the Ainsworth & Jones speedup over baseline.
+func (c *Comparison) StaticSpeedup() float64 { return c.Static.Speedup(c.Base) }
+
+// AptGetSpeedup returns the APT-GET speedup over baseline.
+func (c *Comparison) AptGetSpeedup() float64 { return c.AptGet.Speedup(c.Base) }
+
+// Compare runs baseline, Ainsworth & Jones, and APT-GET on the workload.
+func Compare(w Workload, cfg Config) (*Comparison, error) {
+	base, err := RunBaseline(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	static, err := RunStatic(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	apt, err := RunAptGet(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{Workload: w.Name(), Base: base, Static: static, AptGet: apt}, nil
+}
+
+// GeoMean computes the geometric mean of a slice of ratios — the paper's
+// average-speedup aggregation (§4.3).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, x := range xs {
+		prod *= x
+	}
+	return math.Pow(prod, 1/float64(len(xs)))
+}

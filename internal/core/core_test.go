@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"aptget/internal/ir"
+	"aptget/internal/mem"
+)
+
+// microWorkload is a minimal Workload: the nested indirect kernel with a
+// native Go reference.
+type microWorkload struct {
+	outer, inner, table int64
+	seed                int64
+
+	bArr, tArr, out ir.Array
+}
+
+func (m *microWorkload) Name() string { return "micro" }
+
+func (m *microWorkload) Build() (*ir.Program, error) {
+	b := ir.NewBuilder("micro")
+	m.bArr = b.Alloc("B", m.outer*m.inner, 8)
+	m.tArr = b.Alloc("T", m.table, 8)
+	m.out = b.Alloc("out", 1, 8)
+	zero := b.Const(0)
+	b.Loop("i", zero, b.Const(m.outer), 1, func(i ir.Value) {
+		base := b.Mul(i, b.Const(m.inner))
+		b.Loop("j", zero, b.Const(m.inner), 1, func(j ir.Value) {
+			idx := b.LoadElem(m.bArr, b.Add(base, j))
+			v := b.LoadElem(m.tArr, idx)
+			acc := b.LoadElem(m.out, zero)
+			b.StoreElem(m.out, zero, b.Add(acc, v))
+		})
+	})
+	return b.Finish(), nil
+}
+
+func (m *microWorkload) data() ([]int64, []int64) {
+	rng := rand.New(rand.NewSource(m.seed))
+	bs := make([]int64, m.outer*m.inner)
+	ts := make([]int64, m.table)
+	for i := range bs {
+		bs[i] = rng.Int63n(m.table)
+	}
+	for i := range ts {
+		ts[i] = int64(i % 17)
+	}
+	return bs, ts
+}
+
+func (m *microWorkload) InitMem(a *mem.Arena) {
+	bs, ts := m.data()
+	for i, v := range bs {
+		a.Write(m.bArr.Addr(int64(i)), v, 8)
+	}
+	for i, v := range ts {
+		a.Write(m.tArr.Addr(int64(i)), v, 8)
+	}
+}
+
+func (m *microWorkload) Verify(a *mem.Arena) error {
+	bs, ts := m.data()
+	var want int64
+	for _, idx := range bs {
+		want += ts[idx]
+	}
+	if got := a.Read(m.out.Addr(0), 8); got != want {
+		return fmt.Errorf("sum = %d, want %d", got, want)
+	}
+	return nil
+}
+
+func newMicro(outer, inner int64) *microWorkload {
+	return &microWorkload{outer: outer, inner: inner, table: 1 << 18, seed: 21}
+}
+
+func TestCompareThreeWay(t *testing.T) {
+	w := newMicro(4096, 4)
+	cmp, err := Compare(w, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Base.Variant != "baseline" || cmp.Static.Variant != "ainsworth-jones" ||
+		cmp.AptGet.Variant != "apt-get" {
+		t.Fatal("variant labels wrong")
+	}
+	// The paper's headline shape: APT-GET ≥ static on a small-trip
+	// nested kernel (static is stuck in the inner loop with distance 32).
+	sApt, sStatic := cmp.AptGetSpeedup(), cmp.StaticSpeedup()
+	if sApt < 1.2 {
+		t.Fatalf("APT-GET speedup %.2fx too small", sApt)
+	}
+	if sApt <= sStatic {
+		t.Fatalf("APT-GET (%.2fx) should beat static (%.2fx) on trip-4 loops", sApt, sStatic)
+	}
+	if cmp.AptGet.Report == nil || cmp.AptGet.Report.Injected == 0 {
+		t.Fatal("apt-get should have injected slices")
+	}
+	if len(cmp.AptGet.Plans) == 0 {
+		t.Fatal("plans missing from result")
+	}
+}
+
+func TestVerificationCatchesBadResults(t *testing.T) {
+	w := newMicro(8, 8)
+	w.table = 1 << 10
+	bad := &brokenWorkload{w}
+	if _, err := RunBaseline(bad, DefaultConfig()); err == nil {
+		t.Fatal("verification should fail for the broken workload")
+	}
+}
+
+// brokenWorkload corrupts Verify to prove the pipeline checks results.
+type brokenWorkload struct{ *microWorkload }
+
+func (b *brokenWorkload) Verify(*mem.Arena) error {
+	return fmt.Errorf("intentionally broken")
+}
+
+func TestRunWithPlansCrossInput(t *testing.T) {
+	// Figure 12's mechanism: plans from a train input applied to a test
+	// input of the same program structure.
+	train := newMicro(4096, 4)
+	test := newMicro(4096, 4)
+	test.seed = 99 // different data
+
+	cfg := DefaultConfig()
+	_, plans, err := ProfileAndPlan(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plans")
+	}
+	baseTest, err := RunBaseline(test, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optTest, err := RunWithPlans(test, plans, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := optTest.Speedup(baseTest); sp < 1.2 {
+		t.Fatalf("train-plans should transfer to test input, got %.2fx", sp)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean(1,4) = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %v", g)
+	}
+	if g := GeoMean([]float64{3}); math.Abs(g-3) > 1e-12 {
+		t.Fatalf("geomean(3) = %v", g)
+	}
+}
+
+func TestConfigFillDefaults(t *testing.T) {
+	var cfg Config
+	cfg.fill()
+	if cfg.Machine.Name == "" {
+		t.Fatal("machine default missing")
+	}
+	if cfg.Analysis.DRAMLatency != float64(cfg.Machine.DRAMLatency) {
+		t.Fatal("analysis DRAM latency should track the machine config")
+	}
+}
+
+func TestBaselineDeterministicAcrossCalls(t *testing.T) {
+	w := newMicro(64, 16)
+	cfg := DefaultConfig()
+	r1, err := RunBaseline(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunBaseline(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Counters.Cycles != r2.Counters.Cycles ||
+		r1.Counters.Instructions != r2.Counters.Instructions {
+		t.Fatal("pipeline runs must be deterministic")
+	}
+}

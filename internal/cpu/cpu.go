@@ -1,0 +1,280 @@
+// Package cpu executes IR programs under a timing model, playing the role
+// of the evaluation machine (Table 2). The core is in-order: ALU
+// operations retire with fixed costs, demand misses block, and software
+// prefetches are issued in one cycle and complete asynchronously in the
+// memory hierarchy. This is the mechanism the paper's Equation (1)
+// formalizes: a prefetch is timely when the instruction work of
+// `prefetch_distance` iterations covers the memory component latency.
+//
+// The core also houses the profiling hardware: a Last Branch Record ring
+// that captures every taken branch with its cycle stamp, periodic LBR
+// snapshots, and PEBS sampling of LLC-miss loads.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"aptget/internal/ir"
+	"aptget/internal/lbr"
+	"aptget/internal/mem"
+	"aptget/internal/pebs"
+	"aptget/internal/pmu"
+)
+
+// Options controls a run.
+type Options struct {
+	// SamplePeriod, when non-zero, snapshots the LBR ring every
+	// SamplePeriod cycles (the perf-record analog of the paper's 1 ms
+	// default, §3.2).
+	SamplePeriod uint64
+	// PEBSPeriod, when non-zero, samples every PEBSPeriod-th LLC-miss
+	// load PC.
+	PEBSPeriod uint64
+	// LBRWidth overrides the branch-record ring depth (0 = the default
+	// 32-entry Intel LBR; other widths model AMD BRS / ARM BRBE).
+	LBRWidth int
+	// MaxInstructions aborts runaway programs. 0 means the default guard.
+	MaxInstructions uint64
+	// InitMem is called with the arena before execution so workloads can
+	// place their data.
+	InitMem func(*mem.Arena)
+}
+
+const defaultMaxInstructions = 4 << 30
+
+// Result is the outcome of a run.
+type Result struct {
+	Counters   pmu.Counters
+	LBRSamples []lbr.Sample
+	PEBS       *pebs.Sampler
+	Hier       *mem.Hierarchy // post-run memory system (arena holds results)
+}
+
+// ErrInstructionLimit is returned when a program exceeds its instruction
+// budget (almost always a non-terminating loop in a workload builder).
+var ErrInstructionLimit = errors.New("cpu: instruction limit exceeded")
+
+// Run executes the program to completion on a fresh memory hierarchy.
+func Run(p *ir.Program, cfg mem.Config, opts Options) (*Result, error) {
+	f := p.Func
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	f.AssignPCs()
+
+	h := mem.New(cfg, p.MemSize)
+	if opts.InitMem != nil {
+		opts.InitMem(h.Arena)
+	}
+
+	maxInstr := opts.MaxInstructions
+	if maxInstr == 0 {
+		maxInstr = defaultMaxInstructions
+	}
+
+	res := &Result{Hier: h}
+	ring := lbr.New(opts.LBRWidth)
+	if opts.PEBSPeriod > 0 {
+		res.PEBS = pebs.NewSampler(opts.PEBSPeriod)
+	}
+
+	regs := make([]int64, len(f.Instrs))
+	ctr := &res.Counters
+
+	var cycle uint64
+	nextSample := opts.SamplePeriod
+
+	// Per-block first-PC table for LBR targets.
+	firstPC := make([]uint64, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if len(b.Instrs) > 0 {
+			firstPC[b.ID] = f.Instrs[b.Instrs[0]].PC
+		}
+	}
+
+	// Scratch for two-phase phi resolution.
+	var phiVals []int64
+
+	cur := f.Blocks[f.Entry]
+	prev := ir.NoBlock
+
+	for {
+		instrs := cur.Instrs
+
+		// Phase 1: phi resolution on block entry.
+		nPhi := 0
+		for _, v := range instrs {
+			if f.Instrs[v].Op != ir.OpPhi {
+				break
+			}
+			nPhi++
+		}
+		if nPhi > 0 {
+			phiVals = phiVals[:0]
+			for i := 0; i < nPhi; i++ {
+				ins := &f.Instrs[instrs[i]]
+				found := false
+				for j, pb := range ins.PhiPreds {
+					if pb == prev {
+						phiVals = append(phiVals, regs[ins.Args[j]])
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("cpu: %s: phi v%d has no incoming for pred b%d",
+						f.Name, instrs[i], prev)
+				}
+			}
+			for i := 0; i < nPhi; i++ {
+				regs[instrs[i]] = phiVals[i]
+			}
+		}
+
+		var nextBlock ir.BlockID = ir.NoBlock
+
+		for idx := nPhi; idx < len(instrs); idx++ {
+			v := instrs[idx]
+			ins := &f.Instrs[v]
+			switch ins.Op {
+			case ir.OpConst:
+				regs[v] = ins.Imm
+				cycle++
+
+			case ir.OpAdd:
+				regs[v] = regs[ins.Args[0]] + regs[ins.Args[1]]
+				cycle++
+			case ir.OpSub:
+				regs[v] = regs[ins.Args[0]] - regs[ins.Args[1]]
+				cycle++
+			case ir.OpMul:
+				regs[v] = regs[ins.Args[0]] * regs[ins.Args[1]]
+				cycle += 3
+			case ir.OpDiv:
+				d := regs[ins.Args[1]]
+				if d == 0 {
+					regs[v] = 0
+				} else {
+					regs[v] = regs[ins.Args[0]] / d
+				}
+				cycle += 20
+			case ir.OpRem:
+				d := regs[ins.Args[1]]
+				if d == 0 {
+					regs[v] = 0
+				} else {
+					regs[v] = regs[ins.Args[0]] % d
+				}
+				cycle += 20
+			case ir.OpAnd:
+				regs[v] = regs[ins.Args[0]] & regs[ins.Args[1]]
+				cycle++
+			case ir.OpOr:
+				regs[v] = regs[ins.Args[0]] | regs[ins.Args[1]]
+				cycle++
+			case ir.OpXor:
+				regs[v] = regs[ins.Args[0]] ^ regs[ins.Args[1]]
+				cycle++
+			case ir.OpShl:
+				regs[v] = regs[ins.Args[0]] << uint64(regs[ins.Args[1]]&63)
+				cycle++
+			case ir.OpShr:
+				regs[v] = regs[ins.Args[0]] >> uint64(regs[ins.Args[1]]&63)
+				cycle++
+
+			case ir.OpCmp:
+				if ins.Pred.Eval(regs[ins.Args[0]], regs[ins.Args[1]]) {
+					regs[v] = 1
+				} else {
+					regs[v] = 0
+				}
+				cycle++
+			case ir.OpSelect:
+				if regs[ins.Args[0]] != 0 {
+					regs[v] = regs[ins.Args[1]]
+				} else {
+					regs[v] = regs[ins.Args[2]]
+				}
+				cycle++
+
+			case ir.OpLoad:
+				addr := regs[ins.Args[0]]
+				r := h.Access(cycle, ins.PC, addr, mem.KindLoad)
+				cycle += r.Latency
+				regs[v] = h.Arena.Read(addr, ins.Size)
+				ctr.Loads++
+				if res.PEBS != nil && r.Served == mem.LevelDRAM {
+					res.PEBS.ObserveMiss(ins.PC)
+				}
+
+			case ir.OpStore:
+				addr := regs[ins.Args[0]]
+				r := h.Access(cycle, ins.PC, addr, mem.KindStore)
+				cycle += r.Latency
+				h.Arena.Write(addr, regs[ins.Args[1]], ins.Size)
+				ctr.Stores++
+
+			case ir.OpPrefetch:
+				addr := regs[ins.Args[0]]
+				if addr >= 0 && addr < h.Arena.Size() {
+					r := h.Access(cycle, ins.PC, addr, mem.KindSWPrefetch)
+					cycle += r.Latency
+				} else {
+					// Out-of-bounds prefetch: real hardware drops it
+					// without faulting; it still costs the issue slot.
+					cycle++
+				}
+				ctr.SWPrefetches++
+
+			case ir.OpBr:
+				ctr.Branches++
+				cycle++
+				if regs[ins.Args[0]] != 0 {
+					nextBlock = cur.Succs[0]
+					ctr.TakenBranches++
+					ring.Push(ins.PC, firstPC[nextBlock], cycle)
+				} else {
+					nextBlock = cur.Succs[1]
+				}
+
+			case ir.OpJmp:
+				ctr.Branches++
+				ctr.TakenBranches++
+				cycle++
+				nextBlock = cur.Succs[0]
+				ring.Push(ins.PC, firstPC[nextBlock], cycle)
+
+			case ir.OpRet:
+				cycle++
+				ctr.Instructions++
+				ctr.Cycles = cycle
+				ctr.Mem = h.Stats
+				return res, nil
+
+			default:
+				return nil, fmt.Errorf("cpu: %s: unexecutable op %s at pc %d",
+					f.Name, ins.Op, ins.PC)
+			}
+
+			ctr.Instructions++
+			if ctr.Instructions > maxInstr {
+				return nil, fmt.Errorf("%w: %s after %d instructions",
+					ErrInstructionLimit, f.Name, maxInstr)
+			}
+			if opts.SamplePeriod > 0 && cycle >= nextSample {
+				res.LBRSamples = append(res.LBRSamples, lbr.Sample{
+					Cycle:   cycle,
+					Entries: ring.Snapshot(),
+				})
+				nextSample = cycle + opts.SamplePeriod
+			}
+		}
+
+		if nextBlock == ir.NoBlock {
+			return nil, fmt.Errorf("cpu: %s: block b%d fell through", f.Name, cur.ID)
+		}
+		prev = cur.ID
+		cur = f.Blocks[nextBlock]
+	}
+}

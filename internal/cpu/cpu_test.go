@@ -1,0 +1,348 @@
+package cpu
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"aptget/internal/ir"
+	"aptget/internal/mem"
+)
+
+// sumProgram builds: out[0] = sum of data[0..n).
+func sumProgram(n int64) (*ir.Program, ir.Array, ir.Array) {
+	b := ir.NewBuilder("sum")
+	data := b.Alloc("data", n, 8)
+	out := b.Alloc("out", 1, 8)
+	zero := b.Const(0)
+	b.StoreElem(out, zero, zero)
+	b.Loop("i", zero, b.Const(n), 1, func(i ir.Value) {
+		v := b.LoadElem(data, i)
+		acc := b.LoadElem(out, zero)
+		b.StoreElem(out, zero, b.Add(acc, v))
+	})
+	return b.Finish(), data, out
+}
+
+func TestRunComputesSum(t *testing.T) {
+	p, data, out := sumProgram(100)
+	res, err := Run(p, mem.ConfigScaled(), Options{
+		InitMem: func(a *mem.Arena) {
+			for i := int64(0); i < 100; i++ {
+				a.Write(data.Addr(i), i, 8)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Hier.Arena.Read(out.Addr(0), 8); got != 4950 {
+		t.Fatalf("sum = %d, want 4950", got)
+	}
+	if res.Counters.Cycles == 0 || res.Counters.Instructions == 0 {
+		t.Fatal("counters not populated")
+	}
+	if res.Counters.Loads != 200 { // data + accumulator per iteration
+		t.Fatalf("loads = %d, want 200", res.Counters.Loads)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() uint64 {
+		p, data, _ := sumProgram(256)
+		res, err := Run(p, mem.ConfigScaled(), Options{
+			InitMem: func(a *mem.Arena) {
+				rng := rand.New(rand.NewSource(7))
+				for i := int64(0); i < 256; i++ {
+					a.Write(data.Addr(i), rng.Int63n(1000), 8)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counters.Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %d vs %d cycles", a, b)
+	}
+}
+
+func TestPhiLoopSemantics(t *testing.T) {
+	// acc kept in a register via LoopCustom-style accumulation is not
+	// expressible without a second phi; validate multi-phi headers by
+	// building one manually through nested use of Loop with memory state
+	// covered elsewhere. Here: factorial via non-canonical loop.
+	b := ir.NewBuilder("fact")
+	out := b.Alloc("out", 1, 8)
+	one := b.Const(1)
+	b.StoreElem(out, b.Const(0), one)
+	b.LoopCustom("i", one,
+		func(iv ir.Value) ir.Value { return b.Add(iv, one) },
+		func(next ir.Value) ir.Value { return b.Cmp(ir.PredLE, next, b.Const(10)) },
+		nil,
+		func(iv ir.Value) {
+			acc := b.LoadElem(out, b.Const(0))
+			b.StoreElem(out, b.Const(0), b.Mul(acc, iv))
+		})
+	p := b.Finish()
+	res, err := Run(p, mem.ConfigScaled(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Hier.Arena.Read(out.Addr(0), 8); got != 3628800 {
+		t.Fatalf("10! = %d, want 3628800", got)
+	}
+}
+
+func TestDivRemByZero(t *testing.T) {
+	b := ir.NewBuilder("div0")
+	out := b.Alloc("out", 2, 8)
+	z := b.Const(0)
+	b.StoreElem(out, z, b.Div(b.Const(42), z))
+	b.StoreElem(out, b.Const(1), b.Rem(b.Const(42), z))
+	p := b.Finish()
+	res, err := Run(p, mem.ConfigScaled(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hier.Arena.Read(out.Addr(0), 8) != 0 || res.Hier.Arena.Read(out.Addr(1), 8) != 0 {
+		t.Fatal("div/rem by zero should yield 0")
+	}
+}
+
+func TestInstructionLimit(t *testing.T) {
+	// while (mem[0] == 0) {} never terminates.
+	b := ir.NewBuilder("spin")
+	st := b.Alloc("st", 1, 8)
+	b.While("w",
+		func() ir.Value { return b.Cmp(ir.PredEQ, b.LoadElem(st, b.Const(0)), b.Const(0)) },
+		func() {})
+	p := b.Finish()
+	_, err := Run(p, mem.ConfigScaled(), Options{MaxInstructions: 10_000})
+	if !errors.Is(err, ErrInstructionLimit) {
+		t.Fatalf("want instruction-limit error, got %v", err)
+	}
+}
+
+func TestLBRRecordsLoopBackEdges(t *testing.T) {
+	const n = 10
+	b := ir.NewBuilder("lbr")
+	arr := b.Alloc("a", n, 8)
+	zero := b.Const(0)
+	b.Loop("i", zero, b.Const(n), 1, func(i ir.Value) {
+		b.StoreElem(arr, i, i)
+	})
+	p := b.Finish()
+	// Sample every cycle so the final snapshot holds everything.
+	res, err := Run(p, mem.ConfigScaled(), Options{SamplePeriod: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LBRSamples) == 0 {
+		t.Fatal("no LBR samples collected")
+	}
+	last := res.LBRSamples[len(res.LBRSamples)-1]
+	// The loop has n iterations → n-1 back edges, all with the same From
+	// PC. Count the dominant branch PC.
+	byFrom := map[uint64]int{}
+	for _, e := range last.Entries {
+		byFrom[e.From]++
+	}
+	max := 0
+	for _, c := range byFrom {
+		if c > max {
+			max = c
+		}
+	}
+	if max < n-1 {
+		t.Fatalf("back-edge branch seen %d times, want ≥ %d", max, n-1)
+	}
+	// Cycle stamps must be strictly increasing.
+	for i := 1; i < len(last.Entries); i++ {
+		if last.Entries[i].Cycle <= last.Entries[i-1].Cycle {
+			t.Fatal("LBR cycle stamps not increasing")
+		}
+	}
+}
+
+// indirectProgram builds the inner pattern T[B[i]] over n iterations with
+// an optional hand-placed prefetch at the given distance.
+func indirectProgram(n, tableSize int64, dist int64) (*ir.Program, ir.Array, ir.Array, ir.Array) {
+	b := ir.NewBuilder("indirect")
+	bArr := b.Alloc("B", n, 8)
+	tArr := b.Alloc("T", tableSize, 8)
+	out := b.Alloc("out", 1, 8)
+	zero := b.Const(0)
+	b.Loop("i", zero, b.Const(n), 1, func(i ir.Value) {
+		if dist > 0 {
+			pi := b.Min(b.Add(i, b.Const(dist)), b.Const(n-1))
+			pidx := b.LoadElem(bArr, pi)
+			b.PrefetchElem(tArr, pidx)
+		}
+		idx := b.LoadElem(bArr, i)
+		v := b.LoadElem(tArr, idx)
+		acc := b.LoadElem(out, zero)
+		b.StoreElem(out, zero, b.Add(acc, v))
+	})
+	return b.Finish(), bArr, tArr, out
+}
+
+func initIndirect(bArr, tArr ir.Array, n, tableSize int64) func(*mem.Arena) {
+	return func(a *mem.Arena) {
+		rng := rand.New(rand.NewSource(99))
+		for i := int64(0); i < n; i++ {
+			a.Write(bArr.Addr(i), rng.Int63n(tableSize), 8)
+		}
+		for i := int64(0); i < tableSize; i++ {
+			a.Write(tArr.Addr(i), i%7, 8)
+		}
+	}
+}
+
+func TestPEBSIdentifiesDelinquentLoad(t *testing.T) {
+	const n, table = 4096, 1 << 18 // 2 MiB table ≫ caches? 2MiB == LLC; use 1<<18*8 = 2MiB
+	p, bArr, tArr, _ := indirectProgram(n, table, 0)
+	res, err := Run(p, mem.ConfigScaled(), Options{
+		PEBSPeriod: 1,
+		InitMem:    initIndirect(bArr, tArr, n, table),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PEBS == nil || res.PEBS.Samples() == 0 {
+		t.Fatal("PEBS collected nothing")
+	}
+	del := res.PEBS.Delinquent(0.5)
+	if len(del) != 1 {
+		t.Fatalf("want exactly one dominant delinquent load, got %d", len(del))
+	}
+	// It must be the T load: verify it is an OpLoad whose address operand
+	// chain includes another load (indirect pattern).
+	v := p.Func.FindByPC(del[0].PC)
+	if v == ir.NoValue || p.Func.Instr(v).Op != ir.OpLoad {
+		t.Fatalf("delinquent PC %d does not map to a load", del[0].PC)
+	}
+}
+
+func TestPrefetchingReducesCycles(t *testing.T) {
+	const n, table = 8192, 1 << 18
+	base, bArr, tArr, outA := indirectProgram(n, table, 0)
+	resBase, err := Run(base, mem.ConfigScaled(), Options{
+		InitMem: initIndirect(bArr, tArr, n, table),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pf, bArr2, tArr2, outB := indirectProgram(n, table, 16)
+	resPF, err := Run(pf, mem.ConfigScaled(), Options{
+		InitMem: initIndirect(bArr2, tArr2, n, table),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same answer.
+	sumA := resBase.Hier.Arena.Read(outA.Addr(0), 8)
+	sumB := resPF.Hier.Arena.Read(outB.Addr(0), 8)
+	if sumA != sumB {
+		t.Fatalf("prefetching changed the result: %d vs %d", sumA, sumB)
+	}
+
+	speedup := float64(resBase.Counters.Cycles) / float64(resPF.Counters.Cycles)
+	if speedup < 1.5 {
+		t.Fatalf("distance-16 prefetch should speed up the indirect loop, got %.2fx", speedup)
+	}
+	if resPF.Counters.SWPrefetches == 0 {
+		t.Fatal("prefetches not executed")
+	}
+	if resPF.Counters.MPKI() >= resBase.Counters.MPKI() {
+		t.Fatalf("MPKI should fall: %.2f -> %.2f",
+			resBase.Counters.MPKI(), resPF.Counters.MPKI())
+	}
+}
+
+func TestLatePrefetchAtDistanceOne(t *testing.T) {
+	const n, table = 4096, 1 << 18
+	p, bArr, tArr, _ := indirectProgram(n, table, 1)
+	res, err := Run(p, mem.ConfigScaled(), Options{
+		InitMem: initIndirect(bArr, tArr, n, table),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.LatePrefetchRatio() < 0.5 {
+		t.Fatalf("distance-1 prefetches should be mostly late, ratio %.2f",
+			res.Counters.LatePrefetchRatio())
+	}
+}
+
+func TestOutOfBoundsPrefetchIsDropped(t *testing.T) {
+	b := ir.NewBuilder("oobpf")
+	arr := b.Alloc("a", 1, 8)
+	huge := b.Const(1 << 40)
+	b.Prefetch(huge)
+	b.StoreElem(arr, b.Const(0), b.Const(1))
+	p := b.Finish()
+	res, err := Run(p, mem.ConfigScaled(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.SWPrefetches != 1 {
+		t.Fatal("prefetch should retire")
+	}
+	if res.Counters.Mem.SWPrefetchIssued != 0 {
+		t.Fatal("out-of-bounds prefetch must not reach the hierarchy")
+	}
+}
+
+func TestSamplePeriodControlsSampleCount(t *testing.T) {
+	p, data, _ := sumProgram(2048)
+	init := func(a *mem.Arena) {
+		for i := int64(0); i < 2048; i++ {
+			a.Write(data.Addr(i), 1, 8)
+		}
+	}
+	few, err := Run(p, mem.ConfigScaled(), Options{SamplePeriod: 50_000, InitMem: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, data2, _ := sumProgram(2048)
+	_ = data2
+	many, err := Run(p2, mem.ConfigScaled(), Options{SamplePeriod: 1_000, InitMem: func(a *mem.Arena) {
+		for i := int64(0); i < 2048; i++ {
+			a.Write(data2.Addr(i), 1, 8)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(many.LBRSamples) <= len(few.LBRSamples) {
+		t.Fatalf("shorter period should yield more samples: %d vs %d",
+			len(many.LBRSamples), len(few.LBRSamples))
+	}
+}
+
+func TestCountersConsistency(t *testing.T) {
+	p, data, _ := sumProgram(128)
+	res, err := Run(p, mem.ConfigScaled(), Options{InitMem: func(a *mem.Arena) {
+		for i := int64(0); i < 128; i++ {
+			a.Write(data.Addr(i), 1, 8)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &res.Counters
+	if c.TakenBranches > c.Branches {
+		t.Fatal("taken > total branches")
+	}
+	if c.IPC() <= 0 || c.IPC() > 1.01 {
+		t.Fatalf("in-order IPC out of range: %v", c.IPC())
+	}
+	if c.Mem.DemandAccesses != c.Loads+c.Stores {
+		t.Fatalf("hierarchy demand accesses %d != loads+stores %d",
+			c.Mem.DemandAccesses, c.Loads+c.Stores)
+	}
+}

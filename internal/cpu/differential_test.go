@@ -1,0 +1,171 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"aptget/internal/ir"
+	"aptget/internal/mem"
+)
+
+// TestDifferentialRandomALUPrograms builds random arithmetic expression
+// programs, evaluates them both through the interpreter and through a
+// native Go evaluator, and requires bit-identical results. This is the
+// broad correctness net under every workload's arithmetic.
+func TestDifferentialRandomALUPrograms(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := ir.NewBuilder("rand")
+		out := b.Alloc("out", 1, 8)
+
+		// Pool of live (Value, native) pairs.
+		type pair struct {
+			v ir.Value
+			n int64
+		}
+		pool := []pair{}
+		for i := 0; i < 4; i++ {
+			c := rng.Int63n(1000) - 500
+			pool = append(pool, pair{b.Const(c), c})
+		}
+
+		steps := 30 + rng.Intn(50)
+		for i := 0; i < steps; i++ {
+			x := pool[rng.Intn(len(pool))]
+			y := pool[rng.Intn(len(pool))]
+			var v ir.Value
+			var n int64
+			switch rng.Intn(10) {
+			case 0:
+				v, n = b.Add(x.v, y.v), x.n+y.n
+			case 1:
+				v, n = b.Sub(x.v, y.v), x.n-y.n
+			case 2:
+				v, n = b.Mul(x.v, y.v), x.n*y.n
+			case 3:
+				v = b.Div(x.v, y.v)
+				if y.n == 0 {
+					n = 0
+				} else {
+					n = x.n / y.n
+				}
+			case 4:
+				v = b.Rem(x.v, y.v)
+				if y.n == 0 {
+					n = 0
+				} else {
+					n = x.n % y.n
+				}
+			case 5:
+				v, n = b.And(x.v, y.v), x.n&y.n
+			case 6:
+				v, n = b.Or(x.v, y.v), x.n|y.n
+			case 7:
+				v, n = b.Xor(x.v, y.v), x.n^y.n
+			case 8:
+				sh := rng.Int63n(8)
+				shv := b.Const(sh)
+				if rng.Intn(2) == 0 {
+					v, n = b.Shl(x.v, shv), x.n<<uint(sh)
+				} else {
+					v, n = b.Shr(x.v, shv), x.n>>uint(sh)
+				}
+			default:
+				pred := ir.Pred(rng.Intn(6))
+				v = b.Cmp(pred, x.v, y.v)
+				if pred.Eval(x.n, y.n) {
+					n = 1
+				} else {
+					n = 0
+				}
+			}
+			pool = append(pool, pair{v, n})
+		}
+		last := pool[len(pool)-1]
+		b.StoreElem(out, b.Const(0), last.v)
+		p := b.Finish()
+
+		res, err := Run(p, mem.ConfigTiny(), Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := res.Hier.Arena.Read(out.Addr(0), 8); got != last.n {
+			t.Fatalf("seed %d: interpreter %d, native %d", seed, got, last.n)
+		}
+	}
+}
+
+// TestDifferentialRandomLoopPrograms exercises loops with random bounds
+// and random body arithmetic against a native mirror.
+func TestDifferentialRandomLoopPrograms(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		n := 1 + rng.Int63n(60)
+		mulC := 1 + rng.Int63n(7)
+		addC := rng.Int63n(100)
+
+		b := ir.NewBuilder("randloop")
+		arr := b.Alloc("arr", n, 8)
+		acc := b.Alloc("acc", 1, 8)
+		zero := b.Const(0)
+		b.Loop("i", zero, b.Const(n), 1, func(i ir.Value) {
+			v := b.Add(b.Mul(i, b.Const(mulC)), b.Const(addC))
+			b.StoreElem(arr, i, v)
+			old := b.LoadElem(acc, zero)
+			b.StoreElem(acc, zero, b.Xor(old, v))
+		})
+		p := b.Finish()
+		res, err := Run(p, mem.ConfigScaled(), Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		var want int64
+		for i := int64(0); i < n; i++ {
+			v := i*mulC + addC
+			if got := res.Hier.Arena.Read(arr.Addr(i), 8); got != v {
+				t.Fatalf("seed %d: arr[%d] = %d, want %d", seed, i, got, v)
+			}
+			want ^= v
+		}
+		if got := res.Hier.Arena.Read(acc.Addr(0), 8); got != want {
+			t.Fatalf("seed %d: acc = %d, want %d", seed, got, want)
+		}
+	}
+}
+
+// TestLBRWidthChangesSampleDepth verifies the variable-width ring is
+// honoured end to end.
+func TestLBRWidthChangesSampleDepth(t *testing.T) {
+	build := func() *ir.Program {
+		b := ir.NewBuilder("w")
+		arr := b.Alloc("a", 4096, 8)
+		zero := b.Const(0)
+		b.Loop("i", zero, b.Const(4096), 1, func(i ir.Value) {
+			b.StoreElem(arr, i, i)
+		})
+		return b.Finish()
+	}
+	deep, err := Run(build(), mem.ConfigScaled(), Options{SamplePeriod: 5000, LBRWidth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shallow, err := Run(build(), mem.ConfigScaled(), Options{SamplePeriod: 5000, LBRWidth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLen := func(r *Result) int {
+		m := 0
+		for _, s := range r.LBRSamples {
+			if len(s.Entries) > m {
+				m = len(s.Entries)
+			}
+		}
+		return m
+	}
+	if got := maxLen(shallow); got > 8 {
+		t.Fatalf("width-8 ring produced %d entries", got)
+	}
+	if got := maxLen(deep); got <= 8 || got > 64 {
+		t.Fatalf("width-64 ring produced %d entries", got)
+	}
+}

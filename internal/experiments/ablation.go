@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aptget/internal/core"
+	"aptget/internal/workloads"
+)
+
+// AblationRow is one APT-GET variant's aggregate result.
+type AblationRow struct {
+	Variant       string
+	Speedup       float64 // geomean over the app set
+	InstrOverhead float64 // geomean instruction overhead
+}
+
+// AblationResult evaluates the design choices DESIGN.md §6 calls out by
+// disabling them one at a time: staged prefetching, line-granular
+// sweeps, the instruction-component recovery, and outer-loop injection.
+type AblationResult struct {
+	Apps []string
+	Rows []AblationRow
+}
+
+// ablationVariants lists the configurations under test.
+func ablationVariants() []struct {
+	name string
+	mut  func(*core.Config)
+} {
+	return []struct {
+		name string
+		mut  func(*core.Config)
+	}{
+		{"full APT-GET", func(c *core.Config) {}},
+		{"no staged prefetching", func(c *core.Config) { c.Inject.Inject.DisableStaging = true }},
+		{"per-element sweeps", func(c *core.Config) { c.Inject.Inject.DisableLineStride = true }},
+		{"raw lowest-peak IC", func(c *core.Config) { c.Analysis.RawIC = true }},
+		{"inner-loop only", func(c *core.Config) { c.Analysis.DisableOuter = true }},
+	}
+}
+
+// Ablation runs the variants over a diverse app subset.
+func Ablation(o Options) (*AblationResult, error) {
+	keys := []string{"BFS", "HJ2", "HJ8", "CG", "randAcc"}
+	if o.Quick {
+		keys = []string{"HJ8", "randAcc"}
+	}
+	res := &AblationResult{Apps: keys}
+
+	type baseRun struct {
+		w    core.Workload
+		base *core.Result
+	}
+	var bases []baseRun
+	cfg0 := o.config()
+	for _, k := range keys {
+		e, ok := workloads.ByKey(k)
+		if !ok {
+			return nil, fmt.Errorf("ablation: unknown app %s", k)
+		}
+		w := e.New()
+		base, err := core.RunBaseline(w, cfg0)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", k, err)
+		}
+		bases = append(bases, baseRun{w: w, base: base})
+	}
+
+	for _, v := range ablationVariants() {
+		cfg := o.config()
+		v.mut(&cfg)
+		var sps, ovs []float64
+		for i, b := range bases {
+			r, err := core.RunAptGet(b.w, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("ablation %s/%s: %w", v.name, keys[i], err)
+			}
+			sps = append(sps, r.Speedup(b.base))
+			ovs = append(ovs, r.Counters.InstructionOverhead(&b.base.Counters))
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Variant:       v.name,
+			Speedup:       core.GeoMean(sps),
+			InstrOverhead: core.GeoMean(ovs),
+		})
+	}
+	return res, nil
+}
+
+// String renders the ablation as a table.
+func (a *AblationResult) String() string {
+	var rows [][]string
+	for _, r := range a.Rows {
+		rows = append(rows, []string{
+			r.Variant,
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.2fx", r.InstrOverhead),
+		})
+	}
+	return fmt.Sprintf("Ablation over %v: disable one design choice at a time\n", a.Apps) +
+		table([]string{"variant", "geomean speedup", "instr overhead"}, rows)
+}
+
+// LBRWidthRow is one record-depth's analysis quality.
+type LBRWidthRow struct {
+	Width    int
+	AvgTrip  float64 // measured trip count (first plan)
+	Distance int64   // chosen distance (first plan)
+	Speedup  float64
+}
+
+// LBRWidthResult measures how the branch-record depth affects the
+// analysis: Intel's LBR holds 32 entries; AMD BRS and ARM BRBE differ.
+// Shallow rings lose trip-count visibility (§3.6) and latency samples.
+type LBRWidthResult struct {
+	App  string
+	Rows []LBRWidthRow
+}
+
+// LBRWidth runs the sensitivity study on BFS.
+func LBRWidth(o Options) (*LBRWidthResult, error) {
+	cfg := o.config()
+	e, _ := workloads.ByKey("BFS")
+	w := e.New()
+	base, err := core.RunBaseline(w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &LBRWidthResult{App: e.Key}
+	widths := []int{4, 8, 16, 32, 64}
+	if o.Quick {
+		widths = []int{8, 32}
+	}
+	for _, width := range widths {
+		c := cfg
+		c.Profile.LBRWidth = width
+		_, plans, err := core.ProfileAndPlan(w, c)
+		if err != nil {
+			return nil, fmt.Errorf("lbrwidth %d: %w", width, err)
+		}
+		row := LBRWidthRow{Width: width}
+		if len(plans) > 0 {
+			row.AvgTrip = plans[0].AvgTrip
+			row.Distance = plans[0].Distance
+		}
+		r, err := core.RunWithPlans(w, plans, c)
+		if err != nil {
+			return nil, fmt.Errorf("lbrwidth %d run: %w", width, err)
+		}
+		row.Speedup = r.Speedup(base)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the study as a table.
+func (l *LBRWidthResult) String() string {
+	var rows [][]string
+	for _, r := range l.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Width),
+			fmt.Sprintf("%.1f", r.AvgTrip),
+			fmt.Sprintf("%d", r.Distance),
+			fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	return fmt.Sprintf("LBR record depth sensitivity (%s): Intel LBR=32; AMD BRS / ARM BRBE differ\n", l.App) +
+		table([]string{"width", "measured trip", "distance", "speedup"}, rows)
+}

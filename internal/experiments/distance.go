@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aptget/internal/core"
+)
+
+// Fig8Row compares the LBR-derived distance against an exhaustive static
+// sweep for one application.
+type Fig8Row struct {
+	Key           string
+	BestDistance  int64   // best distance from the sweep D={1..128}
+	BestSpeedup   float64 // speedup at that distance
+	AptGetSpeedup float64 // speedup with the LBR-computed distance
+	LBRDistance   int64   // distance the analysis picked (first plan)
+}
+
+// Fig8Result reproduces Figure 8: the LBR sampling technique finds a
+// near-optimal prefetch distance. The sweep pins every plan's distance
+// (keeping APT-GET's injection sites) to isolate the distance decision.
+type Fig8Result struct {
+	Rows                       []Fig8Row
+	BestGeoMean, AptGetGeoMean float64
+}
+
+// fig8Distances is the paper's sweep set D = {1,2,4,8,16,32,64,128}.
+var fig8Distances = []int64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// Fig8 runs the experiment.
+func Fig8(o Options) (*Fig8Result, error) {
+	cfg := o.config()
+	res := &Fig8Result{}
+	var bests, apts []float64
+	for _, e := range apps(o) {
+		w := e.New()
+		base, err := core.RunBaseline(w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", e.Key, err)
+		}
+		_, plans, err := core.ProfileAndPlan(w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", e.Key, err)
+		}
+		row := Fig8Row{Key: e.Key}
+		if len(plans) > 0 {
+			row.LBRDistance = plans[0].Distance
+		}
+		for _, d := range fig8Distances {
+			r, err := core.RunWithPlans(w, forceDistance(plans, d), cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s dist %d: %w", e.Key, d, err)
+			}
+			if sp := r.Speedup(base); sp > row.BestSpeedup {
+				row.BestSpeedup = sp
+				row.BestDistance = d
+			}
+		}
+		apt, err := core.RunWithPlans(w, plans, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s apt: %w", e.Key, err)
+		}
+		row.AptGetSpeedup = apt.Speedup(base)
+		res.Rows = append(res.Rows, row)
+		bests = append(bests, row.BestSpeedup)
+		apts = append(apts, row.AptGetSpeedup)
+	}
+	res.BestGeoMean = core.GeoMean(bests)
+	res.AptGetGeoMean = core.GeoMean(apts)
+	return res, nil
+}
+
+// String renders the figure as a table.
+func (f *Fig8Result) String() string {
+	var rows [][]string
+	for _, r := range f.Rows {
+		rows = append(rows, []string{
+			r.Key,
+			fmt.Sprintf("%d", r.BestDistance),
+			fmt.Sprintf("%.2fx", r.BestSpeedup),
+			fmt.Sprintf("%d", r.LBRDistance),
+			fmt.Sprintf("%.2fx", r.AptGetSpeedup),
+		})
+	}
+	rows = append(rows, []string{"geomean", "",
+		fmt.Sprintf("%.2fx", f.BestGeoMean), "",
+		fmt.Sprintf("%.2fx", f.AptGetGeoMean)})
+	return "Figure 8: exhaustive-sweep optimum vs. LBR-derived distance\n" +
+		table([]string{"app", "best D", "best speedup", "LBR D", "APT-GET"}, rows)
+}
+
+// Fig9Row compares fixed global distances against the LBR distance.
+type Fig9Row struct {
+	Key    string
+	Dist4  float64
+	Dist16 float64
+	Dist64 float64
+	LBR    float64
+}
+
+// Fig9Result reproduces Figure 9: static distances 4/16/64 vs. the
+// LBR-computed distance (all at APT-GET's injection sites).
+type Fig9Result struct {
+	Rows                       []Fig9Row
+	Geo4, Geo16, Geo64, GeoLBR float64
+}
+
+// Fig9 runs the experiment.
+func Fig9(o Options) (*Fig9Result, error) {
+	cfg := o.config()
+	res := &Fig9Result{}
+	var g4, g16, g64, gl []float64
+	for _, e := range apps(o) {
+		w := e.New()
+		base, err := core.RunBaseline(w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", e.Key, err)
+		}
+		_, plans, err := core.ProfileAndPlan(w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", e.Key, err)
+		}
+		row := Fig9Row{Key: e.Key}
+		speedupAt := func(d int64) (float64, error) {
+			r, err := core.RunWithPlans(w, forceDistance(plans, d), cfg)
+			if err != nil {
+				return 0, err
+			}
+			return r.Speedup(base), nil
+		}
+		if row.Dist4, err = speedupAt(4); err != nil {
+			return nil, err
+		}
+		if row.Dist16, err = speedupAt(16); err != nil {
+			return nil, err
+		}
+		if row.Dist64, err = speedupAt(64); err != nil {
+			return nil, err
+		}
+		apt, err := core.RunWithPlans(w, plans, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row.LBR = apt.Speedup(base)
+		res.Rows = append(res.Rows, row)
+		g4 = append(g4, row.Dist4)
+		g16 = append(g16, row.Dist16)
+		g64 = append(g64, row.Dist64)
+		gl = append(gl, row.LBR)
+	}
+	res.Geo4, res.Geo16, res.Geo64, res.GeoLBR =
+		core.GeoMean(g4), core.GeoMean(g16), core.GeoMean(g64), core.GeoMean(gl)
+	return res, nil
+}
+
+// String renders the figure as a table.
+func (f *Fig9Result) String() string {
+	var rows [][]string
+	for _, r := range f.Rows {
+		rows = append(rows, []string{
+			r.Key,
+			fmt.Sprintf("%.2fx", r.Dist4),
+			fmt.Sprintf("%.2fx", r.Dist16),
+			fmt.Sprintf("%.2fx", r.Dist64),
+			fmt.Sprintf("%.2fx", r.LBR),
+		})
+	}
+	rows = append(rows, []string{"geomean",
+		fmt.Sprintf("%.2fx", f.Geo4),
+		fmt.Sprintf("%.2fx", f.Geo16),
+		fmt.Sprintf("%.2fx", f.Geo64),
+		fmt.Sprintf("%.2fx", f.GeoLBR)})
+	return "Figure 9: fixed distances vs. LBR-computed distance\n" +
+		table([]string{"app", "D=4", "D=16", "D=64", "LBR"}, rows)
+}

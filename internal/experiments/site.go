@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aptget/internal/analysis"
+	"aptget/internal/core"
+	"aptget/internal/graphgen"
+	"aptget/internal/workloads"
+)
+
+// Fig10Row compares forced-inner against forced-outer injection.
+type Fig10Row struct {
+	Key          string
+	InnerSpeedup float64
+	OuterSpeedup float64
+	ChosenSite   string // site APT-GET actually picks
+}
+
+// Fig10Result reproduces Figure 10: the effect of the prefetch injection
+// site for nested-loop applications across inputs with different degree
+// distributions.
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// fig10Apps returns the nested-loop workloads the paper studies,
+// including BFS on inputs with different average degrees (loc-Brightkite
+// degree ≈3 vs. a synthetic 80k-vertex degree-8 graph).
+func fig10Apps(o Options) []workloads.Entry {
+	entries := []workloads.Entry{
+		{Key: "BFS-LBE", New: func() core.Workload {
+			d, _ := graphgen.ByName("LBE")
+			g := d.Make()
+			return workloads.NewBFS("BFS-LBE", g, workloads.TopDegreeVertices(g, 1)[0])
+		}},
+		{Key: "BFS-80k-d8", New: func() core.Workload {
+			g := graphgen.Uniform("80k-d8", 80_000, 8, 2021)
+			return workloads.NewBFS("BFS-80k-d8", g, workloads.TopDegreeVertices(g, 1)[0])
+		}},
+	}
+	keys := []string{"DFS", "SSSP", "HJ2", "HJ8", "G500"}
+	if o.Quick {
+		entries = entries[:1]
+		keys = []string{"DFS", "HJ8"}
+	}
+	for _, k := range keys {
+		if e, ok := workloads.ByKey(k); ok {
+			entries = append(entries, e)
+		}
+	}
+	return entries
+}
+
+// Fig10 runs the experiment.
+func Fig10(o Options) (*Fig10Result, error) {
+	cfg := o.config()
+	res := &Fig10Result{}
+	for _, e := range fig10Apps(o) {
+		w := e.New()
+		base, err := core.RunBaseline(w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s: %w", e.Key, err)
+		}
+		_, plans, err := core.ProfileAndPlan(w, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s: %w", e.Key, err)
+		}
+		row := Fig10Row{Key: e.Key, ChosenSite: siteSummary(plans)}
+		inner, err := core.RunWithPlans(w, forceSite(plans, analysis.SiteInner), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s inner: %w", e.Key, err)
+		}
+		outer, err := core.RunWithPlans(w, forceSite(plans, analysis.SiteOuter), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s outer: %w", e.Key, err)
+		}
+		row.InnerSpeedup = inner.Speedup(base)
+		row.OuterSpeedup = outer.Speedup(base)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// siteSummary counts the sites chosen across a workload's plans.
+func siteSummary(plans []analysis.Plan) string {
+	if len(plans) == 0 {
+		return "none"
+	}
+	inner, outer := 0, 0
+	for _, p := range plans {
+		if p.Site == analysis.SiteOuter {
+			outer++
+		} else {
+			inner++
+		}
+	}
+	switch {
+	case outer == 0:
+		return "inner"
+	case inner == 0:
+		return "outer"
+	default:
+		return fmt.Sprintf("outer×%d inner×%d", outer, inner)
+	}
+}
+
+// String renders the figure as a table.
+func (f *Fig10Result) String() string {
+	var rows [][]string
+	for _, r := range f.Rows {
+		rows = append(rows, []string{
+			r.Key,
+			fmt.Sprintf("%.2fx", r.InnerSpeedup),
+			fmt.Sprintf("%.2fx", r.OuterSpeedup),
+			r.ChosenSite,
+		})
+	}
+	return "Figure 10: inner- vs. outer-loop injection (forced sites)\n" +
+		table([]string{"app", "inner", "outer", "APT-GET picks"}, rows)
+}

@@ -1,0 +1,324 @@
+package ir
+
+import "fmt"
+
+// Builder constructs well-formed programs using structured control flow.
+// It produces the canonical loop shape the paper's compiler pass expects:
+// each counted loop has a header block opened by a phi node (the induction
+// variable) with one incoming value from the preheader and one from the
+// latch, and a single back-edge branch whose PC identifies the loop in LBR
+// records.
+type Builder struct {
+	prog *Program
+	f    *Func
+	cur  *Block
+
+	consts map[int64]Value // constants are hoisted into the entry block
+	done   bool
+}
+
+// NewBuilder starts a program with an entry block.
+func NewBuilder(name string) *Builder {
+	f := NewFunc(name)
+	entry := f.NewBlock("entry")
+	f.Entry = entry.ID
+	return &Builder{
+		prog:   NewProgram(f),
+		f:      f,
+		cur:    entry,
+		consts: make(map[int64]Value),
+	}
+}
+
+// Func exposes the function under construction (for tests).
+func (b *Builder) Func() *Func { return b.f }
+
+// Alloc reserves a named array in the program arena.
+func (b *Builder) Alloc(name string, count, elemSize int64) Array {
+	return b.prog.Alloc(name, count, elemSize)
+}
+
+// Finish terminates the program with OpRet, assigns PCs, and returns it.
+// The builder must not be used afterwards.
+func (b *Builder) Finish() *Program {
+	if b.done {
+		panic("ir: Finish called twice")
+	}
+	b.emit(Instr{Op: OpRet})
+	b.done = true
+	b.f.AssignPCs()
+	return b.prog
+}
+
+func (b *Builder) emit(ins Instr) Value {
+	if b.done {
+		panic("ir: emit after Finish")
+	}
+	return b.f.AddInstr(b.cur, ins)
+}
+
+// emitEntry places an instruction in the entry block, before its
+// terminator if one exists (it never does during building: entry is only
+// terminated when a loop/branch moves the builder off it).
+func (b *Builder) emitEntry(ins Instr) Value {
+	entry := b.f.Blocks[b.f.Entry]
+	if b.cur == entry {
+		return b.emit(ins)
+	}
+	// Entry is already closed; insert before its terminator.
+	pos := len(entry.Instrs)
+	if t := entry.Terminator(b.f); t != NoValue {
+		pos--
+	}
+	ins.Block = entry.ID
+	return b.f.InsertBefore(entry, pos, ins)
+}
+
+// Const returns an SSA value holding the constant c. Constants are
+// de-duplicated and hoisted to the entry block so loop bodies stay tight.
+func (b *Builder) Const(c int64) Value {
+	if v, ok := b.consts[c]; ok {
+		return v
+	}
+	v := b.emitEntry(Instr{Op: OpConst, Imm: c})
+	b.consts[c] = v
+	return v
+}
+
+func (b *Builder) bin(op Op, x, y Value) Value {
+	return b.emit(Instr{Op: op, Args: []Value{x, y}})
+}
+
+// Add emits x + y.
+func (b *Builder) Add(x, y Value) Value { return b.bin(OpAdd, x, y) }
+
+// Sub emits x - y.
+func (b *Builder) Sub(x, y Value) Value { return b.bin(OpSub, x, y) }
+
+// Mul emits x * y.
+func (b *Builder) Mul(x, y Value) Value { return b.bin(OpMul, x, y) }
+
+// Div emits x / y (yielding 0 when y is 0).
+func (b *Builder) Div(x, y Value) Value { return b.bin(OpDiv, x, y) }
+
+// Rem emits x % y (yielding 0 when y is 0).
+func (b *Builder) Rem(x, y Value) Value { return b.bin(OpRem, x, y) }
+
+// And emits x & y.
+func (b *Builder) And(x, y Value) Value { return b.bin(OpAnd, x, y) }
+
+// Or emits x | y.
+func (b *Builder) Or(x, y Value) Value { return b.bin(OpOr, x, y) }
+
+// Xor emits x ^ y.
+func (b *Builder) Xor(x, y Value) Value { return b.bin(OpXor, x, y) }
+
+// Shl emits x << y.
+func (b *Builder) Shl(x, y Value) Value { return b.bin(OpShl, x, y) }
+
+// Shr emits x >> y (arithmetic).
+func (b *Builder) Shr(x, y Value) Value { return b.bin(OpShr, x, y) }
+
+// Cmp emits the comparison (x pred y) producing 0 or 1.
+func (b *Builder) Cmp(p Pred, x, y Value) Value {
+	return b.emit(Instr{Op: OpCmp, Pred: p, Args: []Value{x, y}})
+}
+
+// Select emits cond != 0 ? x : y.
+func (b *Builder) Select(cond, x, y Value) Value {
+	return b.emit(Instr{Op: OpSelect, Args: []Value{cond, x, y}})
+}
+
+// Min emits min(x, y) as a cmp+select pair (the clamp idiom of Listing 4).
+func (b *Builder) Min(x, y Value) Value {
+	c := b.Cmp(PredLT, x, y)
+	return b.Select(c, x, y)
+}
+
+// Load emits a load of size bytes from addr.
+func (b *Builder) Load(addr Value, size uint8) Value {
+	return b.emit(Instr{Op: OpLoad, Args: []Value{addr}, Size: size})
+}
+
+// Named attaches a debug label to a value (the AutoFDO-style source
+// mapping: delinquent-load plans report it). Returns v for chaining.
+func (b *Builder) Named(v Value, name string) Value {
+	b.f.Instr(v).Name = name
+	return v
+}
+
+// Store emits a store of size bytes of val to addr.
+func (b *Builder) Store(addr, val Value, size uint8) {
+	b.emit(Instr{Op: OpStore, Args: []Value{addr, val}, Size: size})
+}
+
+// Prefetch emits a software prefetch of the line containing addr.
+func (b *Builder) Prefetch(addr Value) {
+	b.emit(Instr{Op: OpPrefetch, Args: []Value{addr}, Size: 8})
+}
+
+// Index emits the address of element idx of arr: base + idx*elemSize.
+// Power-of-two element sizes use a shift, matching getelementptr lowering.
+func (b *Builder) Index(arr Array, idx Value) Value {
+	base := b.Const(arr.Base)
+	switch arr.ElemSize {
+	case 1:
+		return b.Add(base, idx)
+	case 2, 4, 8:
+		sh := b.Const(log2(arr.ElemSize))
+		return b.Add(base, b.Shl(idx, sh))
+	default:
+		return b.Add(base, b.Mul(idx, b.Const(arr.ElemSize)))
+	}
+}
+
+func log2(x int64) int64 {
+	n := int64(0)
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// LoadElem emits a load of element idx of arr.
+func (b *Builder) LoadElem(arr Array, idx Value) Value {
+	return b.Load(b.Index(arr, idx), uint8(arr.ElemSize))
+}
+
+// StoreElem emits a store of val into element idx of arr.
+func (b *Builder) StoreElem(arr Array, idx Value, val Value) {
+	b.Store(b.Index(arr, idx), val, uint8(arr.ElemSize))
+}
+
+// PrefetchElem emits a software prefetch of element idx of arr.
+func (b *Builder) PrefetchElem(arr Array, idx Value) {
+	b.Prefetch(b.Index(arr, idx))
+}
+
+// branchTo terminates the current block with a jump and returns.
+func (b *Builder) jmp(to *Block) {
+	b.emit(Instr{Op: OpJmp})
+	b.cur.Succs = []BlockID{to.ID}
+}
+
+// brIf terminates the current block with a conditional branch:
+// taken → t, fallthrough → f.
+func (b *Builder) brIf(cond Value, t, f *Block) {
+	b.emit(Instr{Op: OpBr, Args: []Value{cond}})
+	b.cur.Succs = []BlockID{t.ID, f.ID}
+}
+
+// Loop emits a canonical counted loop over [from, to) with the given
+// positive constant step, calling body with the induction variable. The
+// loop is guarded (zero-trip-safe) and bottom-tested, so the back-edge
+// branch executes once per iteration — the property LBR-based trip-count
+// extraction relies on.
+func (b *Builder) Loop(name string, from, to Value, step int64, body func(iv Value)) {
+	b.LoopCustom(name, from,
+		func(iv Value) Value { return b.Add(iv, b.Const(step)) },
+		func(next Value) Value { return b.Cmp(PredLT, next, to) },
+		func(iv Value) Value { return b.Cmp(PredLT, iv, to) },
+		body)
+}
+
+// LoopCustom emits a guarded bottom-tested loop with an arbitrary
+// induction update (e.g. iv *= 2, the paper's non-canonical case §3.5).
+//   - next(iv) computes the next induction value (emitted in the latch)
+//   - cont(next) decides whether to take the back edge
+//   - guard(init) decides whether to enter at all (may be nil: always enter)
+func (b *Builder) LoopCustom(name string, init Value,
+	next func(iv Value) Value,
+	cont func(next Value) Value,
+	guard func(iv Value) Value,
+	body func(iv Value)) {
+
+	header := b.f.NewBlock(name + ".header")
+	exit := b.f.NewBlock(name + ".exit")
+
+	pre := b.cur
+	if guard != nil {
+		g := guard(init)
+		pre = b.cur // guard may not split blocks, but stay safe
+		b.brIf(g, header, exit)
+	} else {
+		b.jmp(header)
+	}
+
+	// Header opens with the induction phi. The latch incoming is patched
+	// below once the body has been emitted.
+	b.cur = header
+	iv := b.emit(Instr{
+		Op:       OpPhi,
+		Args:     []Value{init, NoValue},
+		PhiPreds: []BlockID{pre.ID, NoBlock},
+		Name:     name,
+	})
+
+	body(iv)
+
+	// Latch: compute next iv, test, and branch back.
+	nv := next(iv)
+	cv := cont(nv)
+	latch := b.cur
+	b.brIf(cv, header, exit)
+
+	phi := b.f.Instr(iv)
+	phi.Args[1] = nv
+	phi.PhiPreds[1] = latch.ID
+
+	b.cur = exit
+}
+
+// While emits a top-tested loop: cond is (re)evaluated in the header each
+// iteration; the body runs while it is non-zero. Loop-carried state must
+// live in memory (this matches worklist-style kernels such as BFS).
+func (b *Builder) While(name string, cond func() Value, body func()) {
+	header := b.f.NewBlock(name + ".header")
+	bodyBlk := b.f.NewBlock(name + ".body")
+	exit := b.f.NewBlock(name + ".exit")
+
+	b.jmp(header)
+	b.cur = header
+	c := cond()
+	b.brIf(c, bodyBlk, exit)
+
+	b.cur = bodyBlk
+	body()
+	b.jmp(header)
+
+	b.cur = exit
+}
+
+// If emits structured if/else. Either arm may be nil.
+func (b *Builder) If(cond Value, then func(), els func()) {
+	thenBlk := b.f.NewBlock("if.then")
+	exit := b.f.NewBlock("if.exit")
+	elseBlk := exit
+	if els != nil {
+		elseBlk = b.f.NewBlock("if.else")
+	}
+
+	b.brIf(cond, thenBlk, elseBlk)
+
+	b.cur = thenBlk
+	if then != nil {
+		then()
+	}
+	b.jmp(exit)
+
+	if els != nil {
+		b.cur = elseBlk
+		els()
+		b.jmp(exit)
+	}
+
+	b.cur = exit
+}
+
+// Break support is intentionally structured: BreakIf emits a conditional
+// early exit from the innermost LoopCustom/Loop by branching to a fresh
+// continuation inside the loop body. Complex exit conditions
+// (for(i:K){if(cond(i)) break;}, §3.5) are built with If + a flag in
+// memory; see workloads for usage.
+func (b *Builder) String() string { return fmt.Sprintf("builder(%s)", b.f.Name) }

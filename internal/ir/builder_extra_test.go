@@ -1,0 +1,136 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMinEmitsClampIdiom(t *testing.T) {
+	b := NewBuilder("min")
+	out := b.Alloc("out", 1, 8)
+	m := b.Min(b.Const(9), b.Const(5))
+	b.StoreElem(out, b.Const(0), m)
+	p := b.Finish()
+	if err := p.Func.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Must contain a cmp and a select.
+	var hasCmp, hasSel bool
+	for _, ins := range p.Func.Instrs {
+		switch ins.Op {
+		case OpCmp:
+			hasCmp = true
+		case OpSelect:
+			hasSel = true
+		}
+	}
+	if !hasCmp || !hasSel {
+		t.Fatal("Min should lower to cmp+select")
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	b := NewBuilder("ifonly")
+	arr := b.Alloc("a", 4, 8)
+	b.If(b.Cmp(PredLT, b.Const(1), b.Const(2)),
+		func() { b.StoreElem(arr, b.Const(0), b.Const(7)) }, nil)
+	p := b.Finish()
+	if err := p.Func.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopCustomGuardSkipsZeroTrip(t *testing.T) {
+	// Loop over [5, 5): guard must skip the body entirely; validation
+	// and loop analysis must still hold.
+	b := NewBuilder("zerotrip")
+	arr := b.Alloc("a", 8, 8)
+	five := b.Const(5)
+	b.Loop("i", five, five, 1, func(iv Value) {
+		b.StoreElem(arr, iv, iv)
+	})
+	p := b.Finish()
+	if err := p.Func.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(AnalyzeLoops(p.Func).Loops); got != 1 {
+		t.Fatalf("loops = %d, want 1", got)
+	}
+}
+
+func TestInstrCountAndPreds(t *testing.T) {
+	b := NewBuilder("meta")
+	arr := b.Alloc("a", 4, 8)
+	zero := b.Const(0)
+	b.Loop("i", zero, b.Const(4), 1, func(iv Value) {
+		b.StoreElem(arr, iv, iv)
+	})
+	p := b.Finish()
+	f := p.Func
+	if f.InstrCount() != len(f.Instrs) {
+		t.Fatalf("InstrCount %d != arena %d (no dead instrs expected)",
+			f.InstrCount(), len(f.Instrs))
+	}
+	lf := AnalyzeLoops(f)
+	header := lf.Loops[0].Header
+	preds := f.Preds(header)
+	if len(preds) != 2 {
+		t.Fatalf("loop header should have 2 preds (entry+latch), got %d", len(preds))
+	}
+}
+
+func TestIndexNonPowerOfTwoElemSize(t *testing.T) {
+	b := NewBuilder("idx")
+	arr := b.Alloc("a", 4, 24) // struct-like 24-byte elements
+	addr := b.Index(arr, b.Const(2))
+	out := b.Alloc("out", 1, 8)
+	b.Store(addr, b.Const(1), 8)
+	b.StoreElem(out, b.Const(0), b.Const(1))
+	p := b.Finish()
+	if err := p.Func.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The emitted address chain must use a Mul (not Shl) for size 24.
+	var hasMul bool
+	for _, ins := range p.Func.Instrs {
+		if ins.Op == OpMul {
+			hasMul = true
+		}
+	}
+	if !hasMul {
+		t.Fatal("24-byte element indexing should use multiplication")
+	}
+}
+
+func TestBuilderPanicsOnDoubleFinish(t *testing.T) {
+	b := NewBuilder("fin")
+	b.Finish()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Finish must panic")
+		}
+	}()
+	b.Finish()
+}
+
+func TestBuilderStringer(t *testing.T) {
+	b := NewBuilder("name")
+	if !strings.Contains(b.String(), "name") {
+		t.Fatal("builder stringer should carry the function name")
+	}
+	_ = b.Finish()
+}
+
+func TestOpStringCoverage(t *testing.T) {
+	for op := OpInvalid; op <= OpRet; op++ {
+		if op.String() == "" {
+			t.Fatalf("op %d has empty name", op)
+		}
+	}
+	if Op(200).String() == "" {
+		t.Fatal("out-of-range op should still render")
+	}
+	if Pred(200).String() == "" {
+		t.Fatal("out-of-range pred should still render")
+	}
+}

@@ -1,0 +1,342 @@
+// Package ir defines a small SSA-style loop intermediate representation.
+//
+// The IR plays the role LLVM IR plays in the paper: workloads are built as
+// IR programs, the profiling CPU (internal/cpu) executes them with a timing
+// model, and the prefetch-injection passes (internal/passes) transform them.
+// Induction variables are represented as phi nodes in loop headers, exactly
+// the structure the paper's load-slice search (Algorithm 2) walks.
+//
+// Every instruction carries a program counter (PC) assigned in layout order
+// so that hardware-profile abstractions (LBR branch records, PEBS load
+// samples) can refer to code locations the way real hardware does: a basic
+// block is the half-open PC interval [first instruction, terminating
+// branch], and a load PC can be matched against that interval (§3.2 of the
+// paper).
+package ir
+
+import "fmt"
+
+// Value identifies an SSA value: an index into Func.Instrs.
+type Value int32
+
+// NoValue is the absent-value sentinel.
+const NoValue Value = -1
+
+// BlockID identifies a basic block: an index into Func.Blocks.
+type BlockID int32
+
+// NoBlock is the absent-block sentinel.
+const NoBlock BlockID = -1
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Instruction opcodes. Arithmetic is 64-bit signed integer arithmetic;
+// memory operations address a flat byte-addressable arena.
+const (
+	OpInvalid Op = iota
+
+	OpConst // Imm -> dst
+
+	OpAdd // Args[0] + Args[1]
+	OpSub // Args[0] - Args[1]
+	OpMul // Args[0] * Args[1]
+	OpDiv // Args[0] / Args[1] (0 if divisor is 0)
+	OpRem // Args[0] % Args[1] (0 if divisor is 0)
+	OpAnd // Args[0] & Args[1]
+	OpOr  // Args[0] | Args[1]
+	OpXor // Args[0] ^ Args[1]
+	OpShl // Args[0] << Args[1]
+	OpShr // Args[0] >> Args[1] (arithmetic)
+
+	OpCmp    // compare Args[0], Args[1] with Pred -> 0/1
+	OpSelect // Args[0] != 0 ? Args[1] : Args[2]
+
+	OpLoad     // load Size bytes at address Args[0]
+	OpStore    // store Size bytes of Args[1] at address Args[0]
+	OpPrefetch // software prefetch of the line containing address Args[0]
+
+	OpPhi // phi; Args parallel to PhiPreds
+
+	OpBr  // conditional branch on Args[0]; successors Block.Succs[0] (taken if != 0) and [1]
+	OpJmp // unconditional branch to Block.Succs[0]
+	OpRet // end of program
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpConst:   "const", OpAdd: "add", OpSub: "sub", OpMul: "mul",
+	OpDiv: "div", OpRem: "rem", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr", OpCmp: "cmp", OpSelect: "select",
+	OpLoad: "load", OpStore: "store", OpPrefetch: "prefetch",
+	OpPhi: "phi", OpBr: "br", OpJmp: "jmp", OpRet: "ret",
+}
+
+// String returns the mnemonic for the opcode.
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (op Op) IsTerminator() bool { return op == OpBr || op == OpJmp || op == OpRet }
+
+// IsBinary reports whether the opcode is a two-operand ALU operation.
+func (op Op) IsBinary() bool { return op >= OpAdd && op <= OpShr }
+
+// HasResult reports whether the instruction produces an SSA value.
+func (op Op) HasResult() bool {
+	switch op {
+	case OpStore, OpPrefetch, OpBr, OpJmp, OpRet, OpInvalid:
+		return false
+	}
+	return true
+}
+
+// Pred is a comparison predicate for OpCmp.
+type Pred uint8
+
+// Comparison predicates (signed).
+const (
+	PredEQ Pred = iota
+	PredNE
+	PredLT
+	PredLE
+	PredGT
+	PredGE
+)
+
+var predNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge"}
+
+// String returns the mnemonic for the predicate.
+func (p Pred) String() string {
+	if int(p) < len(predNames) {
+		return predNames[p]
+	}
+	return fmt.Sprintf("pred(%d)", uint8(p))
+}
+
+// Eval applies the predicate to two signed operands.
+func (p Pred) Eval(a, b int64) bool {
+	switch p {
+	case PredEQ:
+		return a == b
+	case PredNE:
+		return a != b
+	case PredLT:
+		return a < b
+	case PredLE:
+		return a <= b
+	case PredGT:
+		return a > b
+	case PredGE:
+		return a >= b
+	}
+	return false
+}
+
+// Instr is a single instruction. Instructions live in Func.Instrs and are
+// referenced by Value; blocks hold ordered lists of Values.
+type Instr struct {
+	Op   Op
+	Args []Value // operands; for OpPhi, parallel to PhiPreds
+
+	Imm  int64 // OpConst: the constant
+	Pred Pred  // OpCmp: predicate
+	Size uint8 // OpLoad/OpStore/OpPrefetch: access size in bytes (1,2,4,8)
+
+	PhiPreds []BlockID // OpPhi: predecessor block per incoming Arg
+
+	Block BlockID // owning block
+	PC    uint64  // program counter, assigned by AssignPCs
+	Name  string  // optional debug name (induction variables, etc.)
+}
+
+// Block is a basic block: an ordered instruction list ending in a
+// terminator, plus successor edges.
+type Block struct {
+	ID     ID
+	Name   string
+	Instrs []Value
+	Succs  []BlockID
+}
+
+// ID aliases BlockID for struct-field readability.
+type ID = BlockID
+
+// Terminator returns the block's terminating instruction value, or NoValue
+// if the block is empty or unterminated.
+func (b *Block) Terminator(f *Func) Value {
+	if len(b.Instrs) == 0 {
+		return NoValue
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if !f.Instrs[last].Op.IsTerminator() {
+		return NoValue
+	}
+	return last
+}
+
+// Func is a single function: the unit of execution and transformation.
+// Programs in this repository are single-function.
+type Func struct {
+	Name   string
+	Blocks []*Block
+	Instrs []Instr
+	Entry  BlockID
+}
+
+// NewFunc returns an empty function.
+func NewFunc(name string) *Func {
+	return &Func{Name: name, Entry: NoBlock}
+}
+
+// NewBlock appends a new empty block and returns it.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{ID: BlockID(len(f.Blocks)), Name: name}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// AddInstr appends an instruction to the arena and to block bb, returning
+// its Value. Terminators set the block's successor list separately.
+func (f *Func) AddInstr(bb *Block, ins Instr) Value {
+	ins.Block = bb.ID
+	v := Value(len(f.Instrs))
+	f.Instrs = append(f.Instrs, ins)
+	bb.Instrs = append(bb.Instrs, v)
+	return v
+}
+
+// InsertBefore inserts an instruction into block bb immediately before the
+// instruction at position pos in bb.Instrs, returning its Value. Passes use
+// this to place prefetch slices ahead of the original load.
+func (f *Func) InsertBefore(bb *Block, pos int, ins Instr) Value {
+	ins.Block = bb.ID
+	v := Value(len(f.Instrs))
+	f.Instrs = append(f.Instrs, ins)
+	bb.Instrs = append(bb.Instrs, NoValue)
+	copy(bb.Instrs[pos+1:], bb.Instrs[pos:])
+	bb.Instrs[pos] = v
+	return v
+}
+
+// Instr returns the instruction for a value.
+func (f *Func) Instr(v Value) *Instr { return &f.Instrs[v] }
+
+// Preds returns the predecessors of block id (computed, not cached).
+func (f *Func) Preds(id BlockID) []BlockID {
+	var preds []BlockID
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if s == id {
+				preds = append(preds, b.ID)
+			}
+		}
+	}
+	return preds
+}
+
+// AssignPCs numbers every instruction in block-layout order. Each
+// instruction occupies one PC slot. Returns the total number of PCs.
+// Must be re-run after any transformation before execution or profiling.
+func (f *Func) AssignPCs() uint64 {
+	var pc uint64
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			f.Instrs[v].PC = pc
+			pc++
+		}
+	}
+	return pc
+}
+
+// InstrCount returns the number of (live) instructions across all blocks.
+func (f *Func) InstrCount() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// FindByPC returns the value whose instruction has the given PC, or
+// NoValue. PCs must have been assigned.
+func (f *Func) FindByPC(pc uint64) Value {
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if f.Instrs[v].PC == pc {
+				return v
+			}
+		}
+	}
+	return NoValue
+}
+
+// BlockOf returns the block that holds the instruction's PC interval, or
+// nil if pc is out of range.
+func (f *Func) BlockOf(pc uint64) *Block {
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			continue
+		}
+		first := f.Instrs[b.Instrs[0]].PC
+		last := f.Instrs[b.Instrs[len(b.Instrs)-1]].PC
+		if pc >= first && pc <= last {
+			return b
+		}
+	}
+	return nil
+}
+
+// Array describes a named region of simulated memory.
+type Array struct {
+	Name     string
+	Base     int64 // byte address of the first element
+	Count    int64 // number of elements
+	ElemSize int64 // bytes per element
+}
+
+// Bytes returns the total size of the array in bytes.
+func (a Array) Bytes() int64 { return a.Count * a.ElemSize }
+
+// Addr returns the byte address of element i.
+func (a Array) Addr(i int64) int64 { return a.Base + i*a.ElemSize }
+
+// Program couples a function with its memory layout.
+type Program struct {
+	Func    *Func
+	Arrays  []Array
+	MemSize int64 // total arena bytes required
+}
+
+const (
+	arenaBase = 4096 // leave page zero unmapped, as a real process would
+	lineSize  = 64
+)
+
+// NewProgram returns a program with an empty memory layout.
+func NewProgram(f *Func) *Program {
+	return &Program{Func: f, MemSize: arenaBase}
+}
+
+// Alloc reserves a cache-line-aligned array in the program's arena.
+func (p *Program) Alloc(name string, count, elemSize int64) Array {
+	base := (p.MemSize + lineSize - 1) &^ (lineSize - 1)
+	a := Array{Name: name, Base: base, Count: count, ElemSize: elemSize}
+	p.Arrays = append(p.Arrays, a)
+	p.MemSize = base + a.Bytes()
+	return a
+}
+
+// ArrayByName returns the named array, or false.
+func (p *Program) ArrayByName(name string) (Array, bool) {
+	for _, a := range p.Arrays {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Array{}, false
+}

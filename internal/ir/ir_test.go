@@ -1,0 +1,355 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildNested returns a two-nested counted loop program resembling the
+// paper's microbenchmark skeleton.
+func buildNested(t *testing.T, outer, inner int64) (*Program, *Builder) {
+	t.Helper()
+	b := NewBuilder("nested")
+	arr := b.Alloc("data", outer*inner, 8)
+	zero := b.Const(0)
+	b.Loop("i", zero, b.Const(outer), 1, func(i Value) {
+		b.Loop("j", zero, b.Const(inner), 1, func(j Value) {
+			idx := b.Add(b.Mul(i, b.Const(inner)), j)
+			v := b.LoadElem(arr, idx)
+			b.StoreElem(arr, idx, b.Add(v, b.Const(1)))
+		})
+	})
+	p := b.Finish()
+	if err := p.Func.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	return p, b
+}
+
+func TestBuilderNestedLoopValidates(t *testing.T) {
+	buildNested(t, 4, 8)
+}
+
+func TestAssignPCsAreDenseAndOrdered(t *testing.T) {
+	p, _ := buildNested(t, 2, 2)
+	f := p.Func
+	n := f.AssignPCs()
+	seen := make(map[uint64]bool)
+	var prev uint64
+	first := true
+	for _, blk := range f.Blocks {
+		for _, v := range blk.Instrs {
+			pc := f.Instrs[v].PC
+			if seen[pc] {
+				t.Fatalf("duplicate pc %d", pc)
+			}
+			seen[pc] = true
+			if !first && pc != prev+1 {
+				t.Fatalf("pcs not dense: %d after %d", pc, prev)
+			}
+			prev, first = pc, false
+		}
+	}
+	if uint64(len(seen)) != n {
+		t.Fatalf("AssignPCs returned %d, saw %d", n, len(seen))
+	}
+}
+
+func TestFindByPCAndBlockOf(t *testing.T) {
+	p, _ := buildNested(t, 2, 2)
+	f := p.Func
+	for _, blk := range f.Blocks {
+		for _, v := range blk.Instrs {
+			pc := f.Instrs[v].PC
+			if got := f.FindByPC(pc); got != v {
+				t.Fatalf("FindByPC(%d) = v%d, want v%d", pc, got, v)
+			}
+			if got := f.BlockOf(pc); got == nil || got.ID != blk.ID {
+				t.Fatalf("BlockOf(%d) wrong block", pc)
+			}
+		}
+	}
+	if f.FindByPC(1<<40) != NoValue {
+		t.Fatal("FindByPC out of range should be NoValue")
+	}
+	if f.BlockOf(1<<40) != nil {
+		t.Fatal("BlockOf out of range should be nil")
+	}
+}
+
+func TestLoopAnalysisNesting(t *testing.T) {
+	p, _ := buildNested(t, 4, 8)
+	lf := AnalyzeLoops(p.Func)
+	if len(lf.Loops) != 2 {
+		t.Fatalf("want 2 loops, got %d", len(lf.Loops))
+	}
+	var outer, inner *Loop
+	for _, l := range lf.Loops {
+		switch l.Depth {
+		case 1:
+			outer = l
+		case 2:
+			inner = l
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatalf("missing depth-1/depth-2 loops")
+	}
+	if inner.Parent != outer {
+		t.Fatal("inner loop parent should be outer loop")
+	}
+	if !outer.Blocks[inner.Header] {
+		t.Fatal("outer loop should contain inner header")
+	}
+	if len(outer.Phis) == 0 || len(inner.Phis) == 0 {
+		t.Fatal("loops should have header phis")
+	}
+	ivO := outer.InductionPhi(p.Func)
+	ivI := inner.InductionPhi(p.Func)
+	if ivO == NoValue || ivI == NoValue {
+		t.Fatal("induction phis not found")
+	}
+	if p.Func.Instr(ivO).Name != "i" || p.Func.Instr(ivI).Name != "j" {
+		t.Fatalf("unexpected induction names %q %q",
+			p.Func.Instr(ivO).Name, p.Func.Instr(ivI).Name)
+	}
+}
+
+func TestNonCanonicalLoopInduction(t *testing.T) {
+	b := NewBuilder("noncanon")
+	one := b.Const(1)
+	lim := b.Const(1024)
+	// i = 1; do { ... } while ((i *= 2) < 1024)
+	b.LoopCustom("i", one,
+		func(iv Value) Value { return b.Mul(iv, b.Const(2)) },
+		func(next Value) Value { return b.Cmp(PredLT, next, lim) },
+		nil,
+		func(iv Value) { _ = b.Add(iv, one) })
+	p := b.Finish()
+	if err := p.Func.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	lf := AnalyzeLoops(p.Func)
+	if len(lf.Loops) != 1 {
+		t.Fatalf("want 1 loop, got %d", len(lf.Loops))
+	}
+	if lf.Loops[0].InductionPhi(p.Func) == NoValue {
+		t.Fatal("non-canonical induction phi (i*=2) not recognized")
+	}
+}
+
+func TestIfEmitsBothArms(t *testing.T) {
+	b := NewBuilder("branchy")
+	arr := b.Alloc("a", 8, 8)
+	c := b.Cmp(PredLT, b.Const(1), b.Const(2))
+	b.If(c,
+		func() { b.StoreElem(arr, b.Const(0), b.Const(10)) },
+		func() { b.StoreElem(arr, b.Const(1), b.Const(20)) })
+	p := b.Finish()
+	if err := p.Func.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	lf := AnalyzeLoops(p.Func)
+	if len(lf.Loops) != 0 {
+		t.Fatalf("if/else should produce no loops, got %d", len(lf.Loops))
+	}
+}
+
+func TestWhileLoopValidatesAndIsALoop(t *testing.T) {
+	b := NewBuilder("while")
+	state := b.Alloc("state", 1, 8)
+	b.While("w",
+		func() Value {
+			v := b.LoadElem(state, b.Const(0))
+			return b.Cmp(PredGT, v, b.Const(0))
+		},
+		func() {
+			v := b.LoadElem(state, b.Const(0))
+			b.StoreElem(state, b.Const(0), b.Sub(v, b.Const(1)))
+		})
+	p := b.Finish()
+	if err := p.Func.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	lf := AnalyzeLoops(p.Func)
+	if len(lf.Loops) != 1 {
+		t.Fatalf("want 1 loop, got %d", len(lf.Loops))
+	}
+}
+
+func TestAllocAlignmentAndLayout(t *testing.T) {
+	b := NewBuilder("alloc")
+	a1 := b.Alloc("a1", 3, 8) // 24 bytes
+	a2 := b.Alloc("a2", 5, 4) // 20 bytes
+	a3 := b.Alloc("a3", 1, 1)
+	for _, a := range []Array{a1, a2, a3} {
+		if a.Base%64 != 0 {
+			t.Fatalf("array %s base %d not line-aligned", a.Name, a.Base)
+		}
+	}
+	if a2.Base < a1.Base+a1.Bytes() || a3.Base < a2.Base+a2.Bytes() {
+		t.Fatal("arrays overlap")
+	}
+	p := b.Finish()
+	if got, ok := p.ArrayByName("a2"); !ok || got.Base != a2.Base {
+		t.Fatal("ArrayByName failed")
+	}
+	if _, ok := p.ArrayByName("nope"); ok {
+		t.Fatal("ArrayByName should miss")
+	}
+	if a1.Addr(2) != a1.Base+16 {
+		t.Fatal("Addr arithmetic wrong")
+	}
+}
+
+func TestValidateCatchesUnterminatedBlock(t *testing.T) {
+	f := NewFunc("bad")
+	bb := f.NewBlock("entry")
+	f.Entry = bb.ID
+	f.AddInstr(bb, Instr{Op: OpConst, Imm: 1})
+	if err := f.Validate(); err == nil {
+		t.Fatal("expected validation error for unterminated block")
+	}
+}
+
+func TestValidateCatchesUseBeforeDef(t *testing.T) {
+	f := NewFunc("bad")
+	bb := f.NewBlock("entry")
+	f.Entry = bb.ID
+	// v0 = add v1, v1 where v1 is defined after v0.
+	f.AddInstr(bb, Instr{Op: OpAdd, Args: []Value{1, 1}})
+	f.AddInstr(bb, Instr{Op: OpConst, Imm: 3})
+	f.AddInstr(bb, Instr{Op: OpRet})
+	if err := f.Validate(); err == nil {
+		t.Fatal("expected use-before-def validation error")
+	}
+}
+
+func TestValidateCatchesBadSuccCount(t *testing.T) {
+	f := NewFunc("bad")
+	bb := f.NewBlock("entry")
+	f.Entry = bb.ID
+	c := f.AddInstr(bb, Instr{Op: OpConst, Imm: 1})
+	f.AddInstr(bb, Instr{Op: OpBr, Args: []Value{c}})
+	bb.Succs = []BlockID{bb.ID} // br with one successor: invalid
+	if err := f.Validate(); err == nil {
+		t.Fatal("expected successor-count validation error")
+	}
+}
+
+func TestInsertBefore(t *testing.T) {
+	f := NewFunc("ins")
+	bb := f.NewBlock("entry")
+	f.Entry = bb.ID
+	c1 := f.AddInstr(bb, Instr{Op: OpConst, Imm: 1})
+	f.AddInstr(bb, Instr{Op: OpRet})
+	v := f.InsertBefore(bb, 1, Instr{Op: OpAdd, Args: []Value{c1, c1}})
+	if bb.Instrs[1] != v {
+		t.Fatalf("InsertBefore misplaced: %v", bb.Instrs)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("validate after insert: %v", err)
+	}
+	if f.Instrs[v].Block != bb.ID {
+		t.Fatal("inserted instr block not set")
+	}
+}
+
+func TestPredEvalMatchesGo(t *testing.T) {
+	if err := quick.Check(func(a, b int64) bool {
+		return PredEQ.Eval(a, b) == (a == b) &&
+			PredNE.Eval(a, b) == (a != b) &&
+			PredLT.Eval(a, b) == (a < b) &&
+			PredLE.Eval(a, b) == (a <= b) &&
+			PredGT.Eval(a, b) == (a > b) &&
+			PredGE.Eval(a, b) == (a >= b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	for _, op := range []Op{OpBr, OpJmp, OpRet} {
+		if !op.IsTerminator() {
+			t.Fatalf("%s should be terminator", op)
+		}
+		if op.HasResult() {
+			t.Fatalf("%s should not produce a result", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr} {
+		if !op.IsBinary() {
+			t.Fatalf("%s should be binary", op)
+		}
+		if !op.HasResult() {
+			t.Fatalf("%s should produce a result", op)
+		}
+	}
+	if OpStore.HasResult() || OpPrefetch.HasResult() {
+		t.Fatal("store/prefetch must not produce results")
+	}
+}
+
+func TestPrintSmoke(t *testing.T) {
+	p, _ := buildNested(t, 2, 2)
+	s := p.Func.String()
+	for _, want := range []string{"func nested", "phi", "load.8", "store.8", "br", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("dump missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestConstDeduplicatedInEntry(t *testing.T) {
+	b := NewBuilder("c")
+	zero := b.Const(0)
+	b.Loop("i", zero, b.Const(10), 1, func(iv Value) {
+		// Const(7) inside the body must land in the entry block.
+		_ = b.Add(iv, b.Const(7))
+		_ = b.Add(iv, b.Const(7))
+	})
+	p := b.Finish()
+	f := p.Func
+	count := 0
+	entry := f.Blocks[f.Entry]
+	for _, v := range entry.Instrs {
+		if f.Instrs[v].Op == OpConst && f.Instrs[v].Imm == 7 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("const 7 should appear once in entry, got %d", count)
+	}
+	for _, blk := range f.Blocks {
+		if blk.ID == f.Entry {
+			continue
+		}
+		for _, v := range blk.Instrs {
+			if f.Instrs[v].Op == OpConst {
+				t.Fatalf("const leaked into block %s", blk.Name)
+			}
+		}
+	}
+}
+
+func TestDominatorsEntrySelf(t *testing.T) {
+	p, _ := buildNested(t, 2, 2)
+	idom := Dominators(p.Func)
+	if idom[p.Func.Entry] != p.Func.Entry {
+		t.Fatal("entry must be its own idom")
+	}
+	// Every reachable block's idom chain terminates at entry.
+	for _, blk := range p.Func.Blocks {
+		if idom[blk.ID] == NoBlock {
+			continue
+		}
+		seen := 0
+		for id := blk.ID; id != p.Func.Entry; id = idom[id] {
+			seen++
+			if seen > len(p.Func.Blocks) {
+				t.Fatalf("idom chain cycle at b%d", blk.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package ir
+
+import "sort"
+
+// Loop describes a natural loop discovered from the CFG.
+type Loop struct {
+	Header  BlockID
+	Latches []BlockID // blocks with a back edge to Header
+	Blocks  map[BlockID]bool
+	Parent  *Loop   // immediately enclosing loop, or nil
+	Phis    []Value // phi nodes in the header (candidate induction variables)
+	Depth   int     // 1 for outermost
+}
+
+// Contains reports whether block id belongs to the loop.
+func (l *Loop) Contains(id BlockID) bool { return l.Blocks[id] }
+
+// LoopForest holds the loops of a function and block→innermost-loop map.
+type LoopForest struct {
+	Loops  []*Loop
+	ByHead map[BlockID]*Loop
+	Inner  map[BlockID]*Loop // innermost loop containing each block
+}
+
+// InnermostFor returns the innermost loop containing block id, or nil.
+func (lf *LoopForest) InnermostFor(id BlockID) *Loop { return lf.Inner[id] }
+
+// Dominators computes the immediate dominator of every reachable block
+// using the iterative algorithm of Cooper, Harvey & Kennedy. idom[entry]
+// is entry itself; unreachable blocks map to NoBlock.
+func Dominators(f *Func) []BlockID {
+	n := len(f.Blocks)
+	// Reverse postorder of the CFG.
+	post := make([]BlockID, 0, n)
+	seen := make([]bool, n)
+	var dfs func(BlockID)
+	dfs = func(id BlockID) {
+		seen[id] = true
+		for _, s := range f.Blocks[id].Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, id)
+	}
+	dfs(f.Entry)
+
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	rpo := make([]BlockID, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		rpoNum[post[i]] = len(rpo)
+		rpo = append(rpo, post[i])
+	}
+
+	preds := make([][]BlockID, n)
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b.ID)
+		}
+	}
+
+	idom := make([]BlockID, n)
+	for i := range idom {
+		idom[i] = NoBlock
+	}
+	idom[f.Entry] = f.Entry
+
+	intersect := func(a, b BlockID) BlockID {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == f.Entry {
+				continue
+			}
+			var newIdom BlockID = NoBlock
+			for _, p := range preds[b] {
+				if idom[p] == NoBlock {
+					continue
+				}
+				if newIdom == NoBlock {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != NoBlock && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// dominates reports whether a dominates b under the idom tree.
+func dominates(idom []BlockID, a, b BlockID) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if b == NoBlock || idom[b] == b {
+			return a == b
+		}
+		b = idom[b]
+	}
+}
+
+// AnalyzeLoops finds all natural loops (back edges t→h where h dominates
+// t) and arranges them into a nesting forest. Loops sharing a header are
+// merged. Phi nodes in each header are recorded as candidate induction
+// variables.
+func AnalyzeLoops(f *Func) *LoopForest {
+	idom := Dominators(f)
+	byHead := make(map[BlockID]*Loop)
+
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if idom[b.ID] == NoBlock {
+				continue // unreachable
+			}
+			if dominates(idom, s, b.ID) {
+				// Back edge b → s.
+				l := byHead[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[BlockID]bool{s: true}}
+					byHead[s] = l
+				}
+				l.Latches = append(l.Latches, b.ID)
+				collectLoopBody(f, l, b.ID)
+			}
+		}
+	}
+
+	var loops []*Loop
+	for _, l := range byHead {
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header < loops[j].Header })
+
+	// Parent linkage: the parent is the smallest strictly-enclosing loop.
+	for _, l := range loops {
+		for _, m := range loops {
+			if m == l || !m.Blocks[l.Header] {
+				continue
+			}
+			if l.Parent == nil || len(m.Blocks) < len(l.Parent.Blocks) {
+				l.Parent = m
+			}
+		}
+	}
+	for _, l := range loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+
+	// Header phis.
+	for _, l := range loops {
+		hb := f.Blocks[l.Header]
+		for _, v := range hb.Instrs {
+			if f.Instrs[v].Op == OpPhi {
+				l.Phis = append(l.Phis, v)
+			}
+		}
+	}
+
+	inner := make(map[BlockID]*Loop)
+	for _, l := range loops {
+		for id := range l.Blocks {
+			if cur, ok := inner[id]; !ok || l.Depth > cur.Depth {
+				inner[id] = l
+			}
+		}
+	}
+
+	return &LoopForest{Loops: loops, ByHead: byHead, Inner: inner}
+}
+
+// collectLoopBody adds to l all blocks that reach the latch without
+// passing through the header (the standard natural-loop body walk).
+func collectLoopBody(f *Func, l *Loop, latch BlockID) {
+	preds := make(map[BlockID][]BlockID)
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b.ID)
+		}
+	}
+	stack := []BlockID{latch}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if l.Blocks[id] {
+			continue
+		}
+		l.Blocks[id] = true
+		for _, p := range preds[id] {
+			if !l.Blocks[p] {
+				stack = append(stack, p)
+			}
+		}
+	}
+}
+
+// InductionPhi returns the "primary" induction phi of the loop: the first
+// header phi that is updated through an arithmetic chain within the loop.
+// Returns NoValue if none qualifies.
+func (l *Loop) InductionPhi(f *Func) Value {
+	for _, v := range l.Phis {
+		phi := f.Instr(v)
+		for i, arg := range phi.Args {
+			if phi.PhiPreds[i] == NoBlock || arg == NoValue {
+				continue
+			}
+			if !l.Blocks[phi.PhiPreds[i]] {
+				continue // entry edge
+			}
+			// Back-edge incoming: require it to depend on the phi itself
+			// through pure arithmetic (canonical i+step or non-canonical
+			// i*2 etc.).
+			if dependsOnThroughALU(f, arg, v, 8) {
+				return v
+			}
+		}
+	}
+	return NoValue
+}
+
+// dependsOnThroughALU reports whether value a transitively reaches target
+// through ALU operations only, within the given depth.
+func dependsOnThroughALU(f *Func, a, target Value, depth int) bool {
+	if a == target {
+		return true
+	}
+	if depth == 0 || a == NoValue {
+		return false
+	}
+	ins := f.Instr(a)
+	if !(ins.Op.IsBinary() || ins.Op == OpSelect || ins.Op == OpCmp) {
+		return false
+	}
+	for _, arg := range ins.Args {
+		if dependsOnThroughALU(f, arg, target, depth-1) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,126 @@
+package ir
+
+import "fmt"
+
+// Validate checks structural well-formedness: every block is terminated
+// exactly once, successor counts match terminators, operand references are
+// in range, phi nodes open their blocks and have matching pred edges, and
+// non-phi operands are defined before use on every path (approximated by
+// dominance of the defining block).
+func (f *Func) Validate() error {
+	if f.Entry == NoBlock || int(f.Entry) >= len(f.Blocks) {
+		return fmt.Errorf("ir: %s: invalid entry block", f.Name)
+	}
+	idom := Dominators(f)
+
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			if idom[b.ID] == NoBlock && b.ID != f.Entry {
+				continue // unreachable empty block: tolerated
+			}
+			return fmt.Errorf("ir: %s: block b%d (%s) is empty", f.Name, b.ID, b.Name)
+		}
+		term := b.Instrs[len(b.Instrs)-1]
+		top := f.Instrs[term].Op
+		if !top.IsTerminator() {
+			return fmt.Errorf("ir: %s: block b%d (%s) not terminated", f.Name, b.ID, b.Name)
+		}
+		switch top {
+		case OpBr:
+			if len(b.Succs) != 2 {
+				return fmt.Errorf("ir: %s: b%d: br needs 2 successors, has %d", f.Name, b.ID, len(b.Succs))
+			}
+		case OpJmp:
+			if len(b.Succs) != 1 {
+				return fmt.Errorf("ir: %s: b%d: jmp needs 1 successor, has %d", f.Name, b.ID, len(b.Succs))
+			}
+		case OpRet:
+			if len(b.Succs) != 0 {
+				return fmt.Errorf("ir: %s: b%d: ret must have no successors", f.Name, b.ID)
+			}
+		}
+		for i, v := range b.Instrs {
+			ins := &f.Instrs[v]
+			if ins.Block != b.ID {
+				return fmt.Errorf("ir: %s: v%d owned by b%d but listed in b%d", f.Name, v, ins.Block, b.ID)
+			}
+			if ins.Op.IsTerminator() && i != len(b.Instrs)-1 {
+				return fmt.Errorf("ir: %s: b%d: terminator v%d not last", f.Name, b.ID, v)
+			}
+			if ins.Op == OpPhi {
+				if len(ins.Args) != len(ins.PhiPreds) {
+					return fmt.Errorf("ir: %s: v%d: phi args/preds mismatch", f.Name, v)
+				}
+				// Phis must be a prefix of the block.
+				for j := 0; j < i; j++ {
+					if f.Instrs[b.Instrs[j]].Op != OpPhi {
+						return fmt.Errorf("ir: %s: b%d: phi v%d after non-phi", f.Name, b.ID, v)
+					}
+				}
+			}
+			for _, a := range ins.Args {
+				if a == NoValue && ins.Op == OpPhi {
+					return fmt.Errorf("ir: %s: v%d: unfinished phi incoming", f.Name, v)
+				}
+				if a < 0 || int(a) >= len(f.Instrs) {
+					return fmt.Errorf("ir: %s: v%d: operand v%d out of range", f.Name, v, a)
+				}
+				if !f.Instrs[a].Op.HasResult() {
+					return fmt.Errorf("ir: %s: v%d: operand v%d has no result (%s)", f.Name, v, a, f.Instrs[a].Op)
+				}
+			}
+		}
+	}
+
+	// Phi pred edges must be actual predecessors.
+	for _, b := range f.Blocks {
+		preds := f.Preds(b.ID)
+		predSet := make(map[BlockID]bool, len(preds))
+		for _, p := range preds {
+			predSet[p] = true
+		}
+		for _, v := range b.Instrs {
+			ins := &f.Instrs[v]
+			if ins.Op != OpPhi {
+				continue
+			}
+			for _, p := range ins.PhiPreds {
+				if !predSet[p] {
+					return fmt.Errorf("ir: %s: v%d: phi pred b%d is not a predecessor of b%d", f.Name, v, p, b.ID)
+				}
+			}
+		}
+	}
+
+	// SSA dominance: defs must dominate non-phi uses.
+	defBlock := make([]BlockID, len(f.Instrs))
+	defPos := make([]int, len(f.Instrs))
+	for _, b := range f.Blocks {
+		for i, v := range b.Instrs {
+			defBlock[v] = b.ID
+			defPos[v] = i
+		}
+	}
+	for _, b := range f.Blocks {
+		if idom[b.ID] == NoBlock && b.ID != f.Entry {
+			continue
+		}
+		for i, v := range b.Instrs {
+			ins := &f.Instrs[v]
+			if ins.Op == OpPhi {
+				continue
+			}
+			for _, a := range ins.Args {
+				db := defBlock[a]
+				if db == b.ID {
+					if defPos[a] >= i {
+						return fmt.Errorf("ir: %s: v%d uses v%d before definition in b%d", f.Name, v, a, b.ID)
+					}
+				} else if !dominates(idom, db, b.ID) {
+					return fmt.Errorf("ir: %s: v%d (b%d) uses v%d defined in non-dominating b%d", f.Name, v, b.ID, a, db)
+				}
+			}
+		}
+	}
+	return nil
+}

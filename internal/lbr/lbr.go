@@ -1,0 +1,83 @@
+// Package lbr models Intel's Last Branch Record facility (§3.1 of the
+// paper): a hardware ring buffer holding, for each of the last Width taken
+// branches, the branch address, its target, and the cycle at which it
+// executed. Profilers snapshot the ring on a sampling interrupt; the
+// APT-GET analysis reconstructs basic-block execution times and loop trip
+// counts from consecutive entries.
+package lbr
+
+// Width is the number of entries the hardware retains by default (32 on
+// the paper's Skylake-generation machines; the paper's §3.6 limitations
+// derive from this value). Other record widths model alternative
+// facilities — AMD's branch sampling and ARM's BRBE (§3) expose
+// different depths.
+const Width = 32
+
+// Entry is one recorded taken branch.
+type Entry struct {
+	From  uint64 // PC of the taken branch instruction
+	To    uint64 // branch target PC
+	Cycle uint64 // cycle at which the branch retired
+}
+
+// Record is the hardware ring buffer. The zero value is a ring of the
+// default Width; use New for other depths.
+type Record struct {
+	buf  []Entry
+	head int // next slot to overwrite
+	n    int // valid entries (≤ width)
+}
+
+// New returns a ring with the given width (≤0 selects the default).
+func New(width int) *Record {
+	if width <= 0 {
+		width = Width
+	}
+	return &Record{buf: make([]Entry, width)}
+}
+
+// Width returns the ring's capacity.
+func (r *Record) Width() int {
+	if r.buf == nil {
+		return Width
+	}
+	return len(r.buf)
+}
+
+// Push records a taken branch, overwriting the oldest entry when full.
+func (r *Record) Push(from, to, cycle uint64) {
+	if r.buf == nil {
+		r.buf = make([]Entry, Width)
+	}
+	r.buf[r.head] = Entry{From: from, To: to, Cycle: cycle}
+	r.head = (r.head + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// Len returns the number of valid entries.
+func (r *Record) Len() int { return r.n }
+
+// Snapshot returns the entries oldest-first. The returned slice is fresh.
+func (r *Record) Snapshot() []Entry {
+	if r.n == 0 {
+		return nil
+	}
+	w := len(r.buf)
+	out := make([]Entry, 0, r.n)
+	start := (r.head - r.n + w) % w
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%w])
+	}
+	return out
+}
+
+// Reset clears the ring.
+func (r *Record) Reset() { r.head, r.n = 0, 0 }
+
+// Sample is one profiling snapshot: the ring content at a sample cycle.
+type Sample struct {
+	Cycle   uint64
+	Entries []Entry
+}

@@ -1,0 +1,84 @@
+package lbr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPushAndSnapshotOrder(t *testing.T) {
+	var r Record
+	for i := uint64(0); i < 5; i++ {
+		r.Push(i, i+100, i*10)
+	}
+	s := r.Snapshot()
+	if len(s) != 5 {
+		t.Fatalf("len = %d, want 5", len(s))
+	}
+	for i, e := range s {
+		if e.From != uint64(i) || e.To != uint64(i)+100 || e.Cycle != uint64(i)*10 {
+			t.Fatalf("entry %d wrong: %+v", i, e)
+		}
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	var r Record
+	for i := uint64(0); i < Width+10; i++ {
+		r.Push(i, i, i)
+	}
+	if r.Len() != Width {
+		t.Fatalf("len = %d, want %d", r.Len(), Width)
+	}
+	s := r.Snapshot()
+	if s[0].From != 10 {
+		t.Fatalf("oldest retained entry should be 10, got %d", s[0].From)
+	}
+	if s[Width-1].From != Width+9 {
+		t.Fatalf("newest should be %d, got %d", Width+9, s[Width-1].From)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var r Record
+	r.Push(1, 2, 3)
+	r.Reset()
+	if r.Len() != 0 || len(r.Snapshot()) != 0 {
+		t.Fatal("reset should empty the ring")
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	var r Record
+	r.Push(1, 2, 3)
+	s := r.Snapshot()
+	s[0].From = 999
+	if r.Snapshot()[0].From != 1 {
+		t.Fatal("snapshot must not alias the ring")
+	}
+}
+
+func TestRingPropertyLenAndOrder(t *testing.T) {
+	if err := quick.Check(func(n uint16) bool {
+		var r Record
+		count := int(n % 200)
+		for i := 0; i < count; i++ {
+			r.Push(uint64(i), 0, uint64(i))
+		}
+		s := r.Snapshot()
+		wantLen := count
+		if wantLen > Width {
+			wantLen = Width
+		}
+		if len(s) != wantLen {
+			return false
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i].Cycle <= s[i-1].Cycle {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

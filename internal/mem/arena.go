@@ -1,0 +1,62 @@
+package mem
+
+import "fmt"
+
+// Arena is the simulated program memory: a flat little-endian
+// byte-addressable store. It carries the *values*; timing is the
+// Hierarchy's job. Accessors sign-extend sub-8-byte reads so that int32
+// graph weights and int8 flags behave like their C counterparts.
+type Arena struct {
+	data []byte
+}
+
+// NewArena allocates an arena of the given size in bytes.
+func NewArena(size int64) *Arena {
+	return &Arena{data: make([]byte, size)}
+}
+
+// Size returns the arena size in bytes.
+func (a *Arena) Size() int64 { return int64(len(a.data)) }
+
+func (a *Arena) check(addr int64, size int64) {
+	if addr < 0 || addr+size > int64(len(a.data)) {
+		panic(fmt.Sprintf("mem: access [%d,%d) outside arena of %d bytes", addr, addr+size, len(a.data)))
+	}
+}
+
+// Read returns the sign-extended value of size bytes at addr.
+func (a *Arena) Read(addr int64, size uint8) int64 {
+	a.check(addr, int64(size))
+	switch size {
+	case 1:
+		return int64(int8(a.data[addr]))
+	case 2:
+		v := uint16(a.data[addr]) | uint16(a.data[addr+1])<<8
+		return int64(int16(v))
+	case 4:
+		v := uint32(a.data[addr]) | uint32(a.data[addr+1])<<8 |
+			uint32(a.data[addr+2])<<16 | uint32(a.data[addr+3])<<24
+		return int64(int32(v))
+	case 8:
+		var v uint64
+		for i := uint8(0); i < 8; i++ {
+			v |= uint64(a.data[addr+int64(i)]) << (8 * i)
+		}
+		return int64(v)
+	default:
+		panic(fmt.Sprintf("mem: unsupported read size %d", size))
+	}
+}
+
+// Write stores the low size bytes of val at addr.
+func (a *Arena) Write(addr int64, val int64, size uint8) {
+	a.check(addr, int64(size))
+	switch size {
+	case 1, 2, 4, 8:
+		for i := uint8(0); i < size; i++ {
+			a.data[addr+int64(i)] = byte(uint64(val) >> (8 * i))
+		}
+	default:
+		panic(fmt.Sprintf("mem: unsupported write size %d", size))
+	}
+}

@@ -1,0 +1,125 @@
+package mem
+
+// way is one cache way within a set.
+type way struct {
+	line     int64
+	valid    bool
+	lru      uint64 // larger = more recently used
+	prefetch bool   // installed by a prefetch (SW or HW)
+	swPref   bool   // installed by a software prefetch specifically
+	touched  bool   // referenced by a demand access since install
+}
+
+// cache is a single set-associative LRU cache level.
+type cache struct {
+	sets    [][]way
+	setMask int64
+	lruTick uint64
+}
+
+func newCache(lc LevelConfig) *cache {
+	n := lc.Sets()
+	// Round set count down to a power of two for masking; configs in this
+	// repository always are.
+	for n&(n-1) != 0 {
+		n--
+	}
+	sets := make([][]way, n)
+	backing := make([]way, n*lc.Ways)
+	for i := range sets {
+		sets[i] = backing[i*lc.Ways : (i+1)*lc.Ways]
+	}
+	return &cache{sets: sets, setMask: int64(n - 1)}
+}
+
+func (c *cache) set(line int64) []way { return c.sets[line&c.setMask] }
+
+// lookup probes for a line; on hit it updates recency and the touched bit
+// (when demand is true) and returns the way.
+func (c *cache) lookup(line int64, demand bool) *way {
+	s := c.set(line)
+	for i := range s {
+		w := &s[i]
+		if w.valid && w.line == line {
+			c.lruTick++
+			w.lru = c.lruTick
+			if demand {
+				w.touched = true
+			}
+			return w
+		}
+	}
+	return nil
+}
+
+// evicted describes a victim pushed out by install.
+type evicted struct {
+	line           int64
+	valid          bool
+	prefetchUnused bool // installed by prefetch, never demanded: "too early"
+	swPrefUnused   bool
+}
+
+// install places a line, evicting the LRU way of its set if needed.
+func (c *cache) install(line int64, byPrefetch, bySWPrefetch bool) evicted {
+	s := c.set(line)
+	victim := -1
+	for i := range s {
+		w := &s[i]
+		if w.valid && w.line == line {
+			// Already present: refresh only.
+			c.lruTick++
+			w.lru = c.lruTick
+			return evicted{}
+		}
+		if !w.valid {
+			victim = i
+		}
+	}
+	if victim == -1 {
+		best := uint64(1<<64 - 1)
+		for i := range s {
+			if s[i].lru < best {
+				best = s[i].lru
+				victim = i
+			}
+		}
+	}
+	w := &s[victim]
+	ev := evicted{}
+	if w.valid {
+		ev = evicted{
+			line:           w.line,
+			valid:          true,
+			prefetchUnused: w.prefetch && !w.touched,
+			swPrefUnused:   w.swPref && !w.touched,
+		}
+	}
+	c.lruTick++
+	*w = way{line: line, valid: true, lru: c.lruTick, prefetch: byPrefetch, swPref: bySWPrefetch}
+	return ev
+}
+
+// contains probes without updating recency (tests, invariant checks).
+func (c *cache) contains(line int64) bool {
+	for i := range c.set(line) {
+		w := &c.set(line)[i]
+		if w.valid && w.line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// countValid returns the number of valid lines (tests).
+func (c *cache) countValid() int {
+	n := 0
+	for _, s := range c.sets {
+		for i := range s {
+			if s[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

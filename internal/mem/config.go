@@ -1,0 +1,116 @@
+// Package mem simulates the processor's data-side memory system: a
+// byte-addressable arena, a three-level set-associative cache hierarchy
+// with fill buffers (MSHRs), a bandwidth-limited DRAM model, and the
+// simple hardware prefetchers (IP-stride and next-line) that commodity
+// Intel parts implement. The paper's whole argument rests on the
+// interaction between software prefetches and this machinery: a prefetch
+// issued too late is found in a fill buffer by the demand load
+// (LOAD_HIT_PRE.SW_PF), one issued too early is evicted before use.
+package mem
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// lineShift converts addresses to line numbers.
+const lineShift = 6
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	SizeBytes int64
+	Ways      int
+	Latency   uint64 // access latency in cycles when this level serves the request
+}
+
+// Sets returns the number of sets.
+func (lc LevelConfig) Sets() int {
+	s := int(lc.SizeBytes / LineSize / int64(lc.Ways))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Config describes the full memory system.
+type Config struct {
+	Name string
+
+	L1, L2, LLC LevelConfig
+
+	DRAMLatency uint64 // cycles from request issue to data return
+	DRAMGap     uint64 // minimum cycles between consecutive DRAM requests (bandwidth)
+
+	FillBuffers int // number of L1 MSHRs / line-fill buffers
+
+	// Hardware prefetchers.
+	StridePrefetcher   bool
+	StrideDegree       int // lines prefetched ahead once a stride locks
+	NextLinePrefetcher bool
+}
+
+// ConfigXeon5218 mirrors the paper's Table 2 machine (Intel Xeon Gold
+// 5218): per-core L1/L2 plus a 22 MiB shared LLC. Latencies follow the
+// paper's §3.1 discussion (L1 = 4 cycles, DRAM = hundreds of cycles).
+func ConfigXeon5218() Config {
+	return Config{
+		Name:        "xeon-gold-5218",
+		L1:          LevelConfig{SizeBytes: 64 << 10, Ways: 8, Latency: 4},
+		L2:          LevelConfig{SizeBytes: 1 << 20, Ways: 16, Latency: 14},
+		LLC:         LevelConfig{SizeBytes: 22 << 20, Ways: 11, Latency: 44},
+		DRAMLatency: 260, DRAMGap: 16,
+		FillBuffers:      10,
+		StridePrefetcher: true, StrideDegree: 2, NextLinePrefetcher: true,
+	}
+}
+
+// ConfigScaled is the default experiment configuration: the same shape as
+// Table 2 but scaled down together with the datasets (DESIGN.md §6) so a
+// full benchmark sweep simulates in seconds while preserving the
+// working-set ≫ LLC ratio that makes the paper's loads delinquent.
+func ConfigScaled() Config {
+	return Config{
+		Name:        "scaled",
+		L1:          LevelConfig{SizeBytes: 32 << 10, Ways: 8, Latency: 4},
+		L2:          LevelConfig{SizeBytes: 128 << 10, Ways: 8, Latency: 14},
+		LLC:         LevelConfig{SizeBytes: 512 << 10, Ways: 16, Latency: 42},
+		DRAMLatency: 220, DRAMGap: 16,
+		FillBuffers:      10,
+		StridePrefetcher: true, StrideDegree: 2, NextLinePrefetcher: true,
+	}
+}
+
+// ConfigTiny is a miniature hierarchy for unit tests: small enough that
+// eviction behaviour can be exercised with a handful of lines.
+func ConfigTiny() Config {
+	return Config{
+		Name:        "tiny",
+		L1:          LevelConfig{SizeBytes: 4 * LineSize, Ways: 2, Latency: 4},
+		L2:          LevelConfig{SizeBytes: 16 * LineSize, Ways: 4, Latency: 14},
+		LLC:         LevelConfig{SizeBytes: 64 * LineSize, Ways: 8, Latency: 42},
+		DRAMLatency: 200, DRAMGap: 10,
+		FillBuffers:      4,
+		StridePrefetcher: false, StrideDegree: 2, NextLinePrefetcher: false,
+	}
+}
+
+// Level identifies which part of the hierarchy served an access.
+type Level uint8
+
+// Serving levels.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelLLC
+	LevelDRAM
+	LevelFB // demand found the line in a fill buffer (in flight)
+	levelCount
+)
+
+var levelNames = [...]string{"L1", "L2", "LLC", "DRAM", "FB"}
+
+// String names the level.
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return "?"
+}

@@ -1,0 +1,71 @@
+package mem
+
+// stridePrefetcher is an IP-indexed stride predictor in the style of the
+// L1/L2 streamers on commodity Intel cores. It detects constant-stride
+// access streams per load PC and, once confident, prefetches a small
+// number of lines ahead. Indirect accesses (A[B[i]]) produce effectively
+// random strides and never train it — which is exactly why the paper's
+// workloads need software prefetching.
+type stridePrefetcher struct {
+	degree  int
+	entries map[uint64]*strideEntry
+}
+
+type strideEntry struct {
+	lastAddr   int64
+	stride     int64
+	confidence int
+}
+
+const (
+	strideConfidenceMax   = 4
+	strideConfidenceFire  = 2
+	strideTableMaxEntries = 256
+)
+
+func newStridePrefetcher(degree int) *stridePrefetcher {
+	if degree < 1 {
+		degree = 1
+	}
+	return &stridePrefetcher{degree: degree, entries: make(map[uint64]*strideEntry)}
+}
+
+// observe records a demand load and returns the addresses to prefetch.
+func (p *stridePrefetcher) observe(pc uint64, addr int64) []int64 {
+	e := p.entries[pc]
+	if e == nil {
+		if len(p.entries) >= strideTableMaxEntries {
+			// Cheap, deterministic eviction: clear the table. Real
+			// hardware uses set-indexed tables; for our workloads (few
+			// hot loads) this path is almost never taken.
+			p.entries = make(map[uint64]*strideEntry)
+		}
+		p.entries[pc] = &strideEntry{lastAddr: addr}
+		return nil
+	}
+	stride := addr - e.lastAddr
+	e.lastAddr = addr
+	if stride == 0 {
+		return nil
+	}
+	if stride == e.stride {
+		if e.confidence < strideConfidenceMax {
+			e.confidence++
+		}
+	} else {
+		e.stride = stride
+		e.confidence = 0
+		return nil
+	}
+	if e.confidence < strideConfidenceFire {
+		return nil
+	}
+	targets := make([]int64, 0, p.degree)
+	for k := 1; k <= p.degree; k++ {
+		t := addr + stride*int64(k+1)
+		if t >= 0 {
+			targets = append(targets, t)
+		}
+	}
+	return targets
+}

@@ -1,0 +1,379 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArenaReadWriteRoundTrip(t *testing.T) {
+	a := NewArena(1 << 12)
+	cases := []struct {
+		addr int64
+		val  int64
+		size uint8
+	}{
+		{0, 0x7f, 1}, {1, -1, 1}, {8, -12345, 2}, {16, 0x7fffffff, 4},
+		{24, -2147483648, 4}, {32, 1<<62 - 3, 8}, {40, -(1 << 60), 8},
+	}
+	for _, c := range cases {
+		a.Write(c.addr, c.val, c.size)
+		if got := a.Read(c.addr, c.size); got != c.val {
+			t.Fatalf("size %d: wrote %d read %d", c.size, c.val, got)
+		}
+	}
+}
+
+func TestArenaSignExtension(t *testing.T) {
+	a := NewArena(64)
+	a.Write(0, 0xff, 1)
+	if got := a.Read(0, 1); got != -1 {
+		t.Fatalf("int8 0xff should read -1, got %d", got)
+	}
+	a.Write(8, 0xffff, 2)
+	if got := a.Read(8, 2); got != -1 {
+		t.Fatalf("int16 0xffff should read -1, got %d", got)
+	}
+	a.Write(16, 0xffffffff, 4)
+	if got := a.Read(16, 4); got != -1 {
+		t.Fatalf("int32 should read -1, got %d", got)
+	}
+}
+
+func TestArenaRoundTripQuick(t *testing.T) {
+	a := NewArena(1 << 10)
+	if err := quick.Check(func(off uint16, v int64) bool {
+		addr := int64(off % 1000)
+		a.Write(addr, v, 8)
+		return a.Read(addr, 8) == v
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArenaOutOfRangePanics(t *testing.T) {
+	a := NewArena(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range access")
+		}
+	}()
+	a.Read(63, 8)
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(LevelConfig{SizeBytes: 2 * LineSize, Ways: 2, Latency: 1})
+	// One set, two ways. Lines 0,2,4 map to set 0 (mask 0).
+	c.install(0, false, false)
+	c.install(2, false, false)
+	c.lookup(0, true) // 0 becomes MRU
+	ev := c.install(4, false, false)
+	if !ev.valid || ev.line != 2 {
+		t.Fatalf("expected eviction of line 2, got %+v", ev)
+	}
+	if !c.contains(0) || !c.contains(4) || c.contains(2) {
+		t.Fatal("LRU state wrong after eviction")
+	}
+}
+
+func TestCachePrefetchUnusedEvictionFlag(t *testing.T) {
+	c := newCache(LevelConfig{SizeBytes: 2 * LineSize, Ways: 2, Latency: 1})
+	c.install(0, true, true) // SW prefetch, never touched
+	c.install(2, false, false)
+	c.lookup(2, true)
+	ev := c.install(4, false, false) // evicts line 0
+	if !ev.swPrefUnused || !ev.prefetchUnused {
+		t.Fatalf("untouched prefetched line should flag unused eviction: %+v", ev)
+	}
+	// Now a touched prefetched line must not flag.
+	c2 := newCache(LevelConfig{SizeBytes: 2 * LineSize, Ways: 2, Latency: 1})
+	c2.install(0, true, true)
+	c2.lookup(0, true)
+	c2.install(2, false, false)
+	c2.lookup(2, true)
+	ev = c2.install(4, false, false)
+	if ev.swPrefUnused {
+		t.Fatalf("touched prefetched line must not count as unused: %+v", ev)
+	}
+}
+
+func TestCacheInstallIdempotent(t *testing.T) {
+	c := newCache(LevelConfig{SizeBytes: 4 * LineSize, Ways: 4, Latency: 1})
+	c.install(7, false, false)
+	c.install(7, false, false)
+	if got := c.countValid(); got != 1 {
+		t.Fatalf("duplicate install should not duplicate line: %d valid", got)
+	}
+}
+
+func TestHierarchyHitLatencies(t *testing.T) {
+	cfg := ConfigTiny()
+	h := New(cfg, 1<<16)
+	// First access: DRAM.
+	r := h.Access(0, 1, 0x1000, KindLoad)
+	if r.Served != LevelDRAM || r.Latency < cfg.DRAMLatency {
+		t.Fatalf("cold access should be DRAM: %+v", r)
+	}
+	// Second: L1.
+	r = h.Access(1000, 1, 0x1008, KindLoad) // same line
+	if r.Served != LevelL1 || r.Latency != cfg.L1.Latency {
+		t.Fatalf("second access should hit L1: %+v", r)
+	}
+}
+
+func TestHierarchyLevelsServeAfterL1Eviction(t *testing.T) {
+	cfg := ConfigTiny() // L1: 4 lines (2 sets x 2 ways)
+	h := New(cfg, 1<<20)
+	now := uint64(0)
+	// Touch lines 0..7 of set 0 (stride = 2 lines * 64B... compute set:
+	// tiny L1 has 2 sets, so even lines map to set 0).
+	for i := 0; i < 8; i++ {
+		r := h.Access(now, 1, int64(i)*4*LineSize, KindLoad)
+		now += r.Latency + 1
+	}
+	// Line 0 has been evicted from L1 but lives in L2 or LLC.
+	r := h.Access(now, 1, 0, KindLoad)
+	if r.Served != LevelL2 && r.Served != LevelLLC {
+		t.Fatalf("expected L2/LLC hit after L1 eviction, got %v", r.Served)
+	}
+}
+
+func TestSWPrefetchTimelyAvoidsMiss(t *testing.T) {
+	cfg := ConfigTiny()
+	h := New(cfg, 1<<16)
+	addr := int64(0x2000)
+	r := h.Access(0, 9, addr, KindSWPrefetch)
+	if r.Latency != 1 {
+		t.Fatalf("prefetch issue cost should be 1 cycle, got %d", r.Latency)
+	}
+	if h.InFlight() != 1 {
+		t.Fatal("prefetch should allocate a fill buffer")
+	}
+	// Demand long after the fill completes: an L1 hit.
+	r = h.Access(cfg.DRAMLatency+100, 1, addr, KindLoad)
+	if r.Served != LevelL1 {
+		t.Fatalf("timely prefetch should yield L1 hit, got %v (lat %d)", r.Served, r.Latency)
+	}
+	if h.Stats.FBHitSWPrefetch != 0 {
+		t.Fatal("timely prefetch must not count as late")
+	}
+}
+
+func TestSWPrefetchLateCountsLoadHitPre(t *testing.T) {
+	cfg := ConfigTiny()
+	h := New(cfg, 1<<16)
+	addr := int64(0x3000)
+	h.Access(0, 9, addr, KindSWPrefetch)
+	// Demand arrives halfway through the fill.
+	half := cfg.DRAMLatency / 2
+	r := h.Access(half, 1, addr, KindLoad)
+	if !r.FBHit || !r.FBHitSW {
+		t.Fatalf("late prefetch should be a fill-buffer hit: %+v", r)
+	}
+	if r.Latency >= cfg.DRAMLatency {
+		t.Fatalf("late prefetch should still hide part of the latency: %d", r.Latency)
+	}
+	if h.Stats.FBHitSWPrefetch != 1 {
+		t.Fatalf("LOAD_HIT_PRE.SW_PF = %d, want 1", h.Stats.FBHitSWPrefetch)
+	}
+}
+
+func TestSWPrefetchTooEarlyEvictedUnused(t *testing.T) {
+	cfg := ConfigTiny() // L1 holds 4 lines
+	h := New(cfg, 1<<20)
+	target := int64(0)
+	h.Access(0, 9, target, KindSWPrefetch)
+	now := cfg.DRAMLatency + 10
+	// Flood L1 set 0 with demand lines so the prefetched line is evicted
+	// before use.
+	for i := 1; i <= 4; i++ {
+		r := h.Access(now, 1, int64(i)*2*LineSize*2, KindLoad)
+		now += r.Latency + 1
+	}
+	if h.Stats.SWPrefetchUnusedEvicted == 0 {
+		t.Fatal("too-early prefetch should be evicted unused")
+	}
+}
+
+func TestPrefetchDroppedWhenFillBuffersFull(t *testing.T) {
+	cfg := ConfigTiny() // 4 fill buffers
+	h := New(cfg, 1<<20)
+	for i := 0; i < 6; i++ {
+		h.Access(0, 9, int64(i)*LineSize*8, KindSWPrefetch)
+	}
+	if h.InFlight() != cfg.FillBuffers {
+		t.Fatalf("in-flight %d, want cap %d", h.InFlight(), cfg.FillBuffers)
+	}
+	if h.Stats.SWPrefetchDroppedFull != 2 {
+		t.Fatalf("dropped %d, want 2", h.Stats.SWPrefetchDroppedFull)
+	}
+}
+
+func TestPrefetchMergedWhenAlreadyInFlight(t *testing.T) {
+	h := New(ConfigTiny(), 1<<16)
+	h.Access(0, 9, 0x4000, KindSWPrefetch)
+	h.Access(1, 9, 0x4000, KindSWPrefetch)
+	if h.Stats.SWPrefetchMerged != 1 {
+		t.Fatalf("merged = %d, want 1", h.Stats.SWPrefetchMerged)
+	}
+	if h.InFlight() != 1 {
+		t.Fatal("merge must not allocate a second buffer")
+	}
+}
+
+func TestPrefetchOfCachedLineIsUseless(t *testing.T) {
+	h := New(ConfigTiny(), 1<<16)
+	h.Access(0, 1, 0x5000, KindLoad)
+	h.Access(500, 9, 0x5000, KindSWPrefetch)
+	if h.Stats.SWPrefetchCacheHit != 1 {
+		t.Fatalf("cache-hit prefetch count = %d, want 1", h.Stats.SWPrefetchCacheHit)
+	}
+}
+
+func TestOffcoreCountersAndAccuracy(t *testing.T) {
+	h := New(ConfigTiny(), 1<<20)
+	// 2 demand misses to DRAM + 2 SW prefetches to DRAM.
+	h.Access(0, 1, 0*4096, KindLoad)
+	h.Access(300, 1, 1*4096, KindLoad)
+	h.Access(600, 9, 2*4096, KindSWPrefetch)
+	h.Access(601, 9, 3*4096, KindSWPrefetch)
+	if h.Stats.OffcoreDemand != 2 || h.Stats.OffcoreSWPrefetch != 2 {
+		t.Fatalf("offcore demand=%d sw=%d, want 2/2",
+			h.Stats.OffcoreDemand, h.Stats.OffcoreSWPrefetch)
+	}
+	if acc := h.Stats.PrefetchAccuracy(); acc != 0.5 {
+		t.Fatalf("accuracy = %v, want 0.5", acc)
+	}
+}
+
+func TestDRAMBandwidthGapSerializes(t *testing.T) {
+	cfg := ConfigTiny()
+	h := New(cfg, 1<<20)
+	// Two prefetches issued the same cycle: the second completes at least
+	// DRAMGap later.
+	h.Access(0, 9, 0x8000, KindSWPrefetch)
+	h.Access(0, 9, 0x9000, KindSWPrefetch)
+	if h.InFlight() != 2 {
+		t.Fatal("both prefetches should be in flight")
+	}
+	// Demand on the second line just after the first fill completes:
+	// it must still be waiting (gap delayed its start).
+	r := h.Access(cfg.DRAMLatency+1, 1, 0x9000, KindLoad)
+	if !r.FBHit {
+		t.Fatalf("second fill should still be in flight: %+v", r)
+	}
+}
+
+func TestStridePrefetcherDetectsStream(t *testing.T) {
+	p := newStridePrefetcher(2)
+	var fired []int64
+	for i := int64(0); i < 6; i++ {
+		fired = p.observe(42, i*64)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("locked stride should fire %d targets, want 2", len(fired))
+	}
+	if fired[0] <= 5*64 {
+		t.Fatalf("prefetch target should be ahead of the stream: %v", fired)
+	}
+}
+
+func TestStridePrefetcherIgnoresRandom(t *testing.T) {
+	p := newStridePrefetcher(2)
+	addrs := []int64{0, 640, 64, 8192, 128, 4096}
+	for _, a := range addrs {
+		if got := p.observe(7, a); got != nil {
+			t.Fatalf("random stream should never fire, got %v", got)
+		}
+	}
+}
+
+func TestStridePrefetcherEndToEnd(t *testing.T) {
+	cfg := ConfigScaled()
+	h := New(cfg, 1<<22)
+	now := uint64(0)
+	// Sequential walk: after training, most accesses should be covered.
+	misses := 0
+	for i := int64(0); i < 512; i++ {
+		r := h.Access(now, 11, i*8, KindLoad)
+		if r.Served == LevelDRAM {
+			misses++
+		}
+		now += r.Latency + 2
+	}
+	// 512 loads cover 64 lines; without prefetching all 64 would miss.
+	if misses >= 32 {
+		t.Fatalf("stride prefetcher should cover a sequential walk: %d DRAM misses", misses)
+	}
+	if h.Stats.HWPrefetchIssued == 0 {
+		t.Fatal("hardware prefetches should have been issued")
+	}
+}
+
+func TestIndirectAccessesNotCoveredByHWPrefetch(t *testing.T) {
+	cfg := ConfigScaled()
+	h := New(cfg, 1<<24)
+	now := uint64(0)
+	// Pseudo-random line accesses from one PC: HW prefetcher should not
+	// help; nearly all should go to DRAM.
+	misses := 0
+	x := uint64(12345)
+	for i := 0; i < 256; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		addr := int64(x % (1 << 23))
+		r := h.Access(now, 13, addr, KindLoad)
+		if r.Served == LevelDRAM {
+			misses++
+		}
+		now += r.Latency + 2
+	}
+	if misses < 200 {
+		t.Fatalf("random accesses should mostly miss, got %d/256", misses)
+	}
+}
+
+func TestFlushDropsCachedState(t *testing.T) {
+	h := New(ConfigTiny(), 1<<16)
+	h.Access(0, 1, 0x100, KindLoad)
+	if !h.L1Contains(0x100) {
+		t.Fatal("line should be cached")
+	}
+	h.Flush()
+	if h.L1Contains(0x100) || h.InFlight() != 0 {
+		t.Fatal("flush should drop lines and fills")
+	}
+}
+
+func TestStallCycleAttribution(t *testing.T) {
+	cfg := ConfigTiny()
+	h := New(cfg, 1<<20)
+	h.Access(0, 1, 0x100, KindLoad) // DRAM
+	h.Access(500, 1, 0x108, KindLoad)
+	if h.Stats.StallCycles[LevelDRAM] < cfg.DRAMLatency {
+		t.Fatal("DRAM stall cycles not attributed")
+	}
+	if h.Stats.StallCycles[LevelL1] != cfg.L1.Latency {
+		t.Fatalf("L1 stall = %d, want %d", h.Stats.StallCycles[LevelL1], cfg.L1.Latency)
+	}
+}
+
+func TestLevelConfigSets(t *testing.T) {
+	lc := LevelConfig{SizeBytes: 32 << 10, Ways: 8}
+	if lc.Sets() != 64 {
+		t.Fatalf("32KiB/8way/64B = 64 sets, got %d", lc.Sets())
+	}
+}
+
+func TestConfigPresetsSane(t *testing.T) {
+	for _, cfg := range []Config{ConfigXeon5218(), ConfigScaled(), ConfigTiny()} {
+		if cfg.L1.Latency >= cfg.L2.Latency || cfg.L2.Latency >= cfg.LLC.Latency ||
+			cfg.LLC.Latency >= cfg.DRAMLatency {
+			t.Fatalf("%s: latencies must increase down the hierarchy", cfg.Name)
+		}
+		if cfg.L1.SizeBytes >= cfg.L2.SizeBytes || cfg.L2.SizeBytes >= cfg.LLC.SizeBytes {
+			t.Fatalf("%s: sizes must increase down the hierarchy", cfg.Name)
+		}
+		if cfg.FillBuffers <= 0 {
+			t.Fatalf("%s: need fill buffers", cfg.Name)
+		}
+	}
+}

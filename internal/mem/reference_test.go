@@ -1,0 +1,113 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refCache is a trivial fully-correct model of one set-associative LRU
+// cache: a map from set to an ordered slice (MRU first).
+type refCache struct {
+	sets map[int64][]int64
+	mask int64
+	ways int
+}
+
+func newRefCache(lc LevelConfig) *refCache {
+	n := lc.Sets()
+	for n&(n-1) != 0 {
+		n--
+	}
+	return &refCache{sets: make(map[int64][]int64), mask: int64(n - 1), ways: lc.Ways}
+}
+
+func (r *refCache) lookup(line int64) bool {
+	s := r.sets[line&r.mask]
+	for i, l := range s {
+		if l == line {
+			// Move to front.
+			copy(s[1:i+1], s[:i])
+			s[0] = line
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refCache) install(line int64) {
+	key := line & r.mask
+	if r.lookup(line) {
+		return
+	}
+	s := r.sets[key]
+	s = append([]int64{line}, s...)
+	if len(s) > r.ways {
+		s = s[:r.ways]
+	}
+	r.sets[key] = s
+}
+
+// TestCacheMatchesReferenceModel drives the production cache and the
+// reference model with the same random operation stream and requires
+// identical hit/miss behaviour throughout.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	lc := LevelConfig{SizeBytes: 16 * LineSize, Ways: 4, Latency: 1}
+	for seed := int64(0); seed < 10; seed++ {
+		c := newCache(lc)
+		ref := newRefCache(lc)
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < 5000; op++ {
+			line := rng.Int63n(64)
+			switch rng.Intn(2) {
+			case 0:
+				got := c.lookup(line, true) != nil
+				want := ref.lookup(line)
+				if got != want {
+					t.Fatalf("seed %d op %d: lookup(%d) = %v, ref %v", seed, op, line, got, want)
+				}
+			case 1:
+				c.install(line, false, false)
+				ref.install(line)
+			}
+		}
+	}
+}
+
+// TestHierarchyInclusionAfterDemand verifies that a demand-loaded line is
+// visible at L1 and L2 immediately after the access.
+func TestHierarchyInclusionAfterDemand(t *testing.T) {
+	h := New(ConfigScaled(), 1<<20)
+	for i := int64(0); i < 32; i++ {
+		addr := i * 4096
+		h.Access(uint64(i)*300, 1, addr, KindLoad)
+		if !h.L1Contains(addr) || !h.L2Contains(addr) {
+			t.Fatalf("line %d not installed through the hierarchy", i)
+		}
+	}
+}
+
+// TestDeterministicAccessStream replays an access stream twice and
+// requires identical statistics.
+func TestDeterministicAccessStream(t *testing.T) {
+	run := func() Stats {
+		h := New(ConfigScaled(), 1<<22)
+		rng := rand.New(rand.NewSource(77))
+		now := uint64(0)
+		for i := 0; i < 20000; i++ {
+			addr := rng.Int63n(1 << 21)
+			kind := KindLoad
+			switch rng.Intn(10) {
+			case 0:
+				kind = KindStore
+			case 1:
+				kind = KindSWPrefetch
+			}
+			r := h.Access(now, uint64(rng.Intn(50)), addr, kind)
+			now += r.Latency + 1
+		}
+		return h.Stats
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("memory system not deterministic:\n%+v\n%+v", a, b)
+	}
+}

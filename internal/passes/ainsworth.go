@@ -1,0 +1,66 @@
+package passes
+
+import (
+	"fmt"
+
+	"aptget/internal/ir"
+)
+
+// StaticOptions configures the Ainsworth & Jones baseline pass.
+type StaticOptions struct {
+	// Distance is the compile-time prefetch distance, the paper's
+	// -DFETCHDIST flag. Default 32.
+	Distance int64
+}
+
+// Report summarizes what a pass did to a program.
+type Report struct {
+	Candidates  int // loads considered
+	Injected    int // prefetch slices emitted
+	Skipped     int // candidates whose slice could not be injected
+	InstrsAdded int // instructions inserted
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	return fmt.Sprintf("candidates=%d injected=%d skipped=%d instrs+=%d",
+		r.Candidates, r.Injected, r.Skipped, r.InstrsAdded)
+}
+
+// AinsworthJones applies the static software-prefetching pass of
+// Ainsworth & Jones [CGO'17]: find every irregular (indirect or
+// recurrence-addressed) load in a loop by static analysis, extract its
+// load slice, and inject a prefetch slice *in the inner loop* with one
+// global compile-time prefetch distance. No profile information is used —
+// which is precisely the limitation APT-GET addresses.
+func AinsworthJones(p *ir.Program, opt StaticOptions) (*Report, error) {
+	if opt.Distance == 0 {
+		opt.Distance = 32
+	}
+	if opt.Distance < 1 {
+		return nil, fmt.Errorf("passes: invalid static distance %d", opt.Distance)
+	}
+	f := p.Func
+	forest := ir.AnalyzeLoops(f)
+	rep := &Report{}
+	for _, load := range Candidates(f, forest) {
+		rep.Candidates++
+		s, ok := ExtractSlice(f, forest, load)
+		if !ok {
+			rep.Skipped++
+			continue
+		}
+		n, err := InjectInner(f, forest, s, opt.Distance)
+		rep.InstrsAdded += n
+		if err != nil {
+			rep.Skipped++
+			continue
+		}
+		rep.Injected++
+	}
+	f.AssignPCs()
+	if err := f.Validate(); err != nil {
+		return rep, fmt.Errorf("passes: ainsworth-jones produced invalid IR: %w", err)
+	}
+	return rep, nil
+}

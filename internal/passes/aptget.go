@@ -1,0 +1,96 @@
+package passes
+
+import (
+	"fmt"
+	"math"
+
+	"aptget/internal/analysis"
+	"aptget/internal/ir"
+)
+
+// AptGetOptions configures the profile-guided injection pass.
+type AptGetOptions struct {
+	// MaxOuterSweep caps how many inner iterations an outer-loop prefetch
+	// slice covers (the §3.5 iv2 sweep up to the average trip count).
+	// Default 8.
+	MaxOuterSweep int64
+	// Inject toggles pass features for ablations.
+	Inject InjectOptions
+}
+
+// AptGet applies the APT-GET profile-guided pass (Algorithm 2 with
+// AutoFDOMapping=true): for every delinquent load identified by the
+// profile, extract its load slice and inject a prefetch slice at the
+// analysis-selected site with the analysis-computed distance. Loads whose
+// slice cannot be transformed are skipped, mirroring the pass's
+// conservative behaviour. When the outer site fails structurally (e.g. no
+// outer induction dependence), the pass falls back to the inner site with
+// the inner distance.
+func AptGet(p *ir.Program, plans []analysis.Plan, opt AptGetOptions) (*Report, error) {
+	if opt.MaxOuterSweep == 0 {
+		opt.MaxOuterSweep = 8
+	}
+	f := p.Func
+	forest := ir.AnalyzeLoops(f)
+	rep := &Report{}
+	for i := range plans {
+		plan := &plans[i]
+		rep.Candidates++
+		if f.Instr(plan.Load).Op != ir.OpLoad {
+			return rep, fmt.Errorf("passes: plan %d: v%d is not a load", i, plan.Load)
+		}
+		s, ok := ExtractSlice(f, forest, plan.Load)
+		if !ok {
+			rep.Skipped++
+			continue
+		}
+		if s.MainLoads == 0 && !s.RecurrenceRoot {
+			// Affine stream (e.g. the col[e] walk of a CSR kernel): the
+			// hardware stride prefetcher already covers it, and a
+			// software slice would only add instruction overhead. The
+			// static pass applies the same indirect-pattern filter.
+			rep.Skipped++
+			continue
+		}
+		n, err := inject(f, forest, s, plan, opt)
+		rep.InstrsAdded += n
+		if err != nil {
+			rep.Skipped++
+			continue
+		}
+		rep.Injected++
+	}
+	f.AssignPCs()
+	if err := f.Validate(); err != nil {
+		return rep, fmt.Errorf("passes: apt-get produced invalid IR: %w", err)
+	}
+	return rep, nil
+}
+
+func inject(f *ir.Func, forest *ir.LoopForest, s *Slice, plan *analysis.Plan, opt AptGetOptions) (int, error) {
+	if plan.Site == analysis.SiteOuter {
+		// Sweep the inner iterations of the target outer iteration. The
+		// LBR trip count is an average; on skewed degree distributions
+		// (power-law graphs) most *edges* belong to vertices above the
+		// average, so sweep a couple of iterations beyond it.
+		sweep := int64(math.Ceil(plan.AvgTrip)) + 2
+		if sweep < 1 {
+			sweep = 1
+		}
+		if sweep > opt.MaxOuterSweep {
+			sweep = opt.MaxOuterSweep
+		}
+		n, err := InjectOuterOpt(f, forest, s, plan.Distance, sweep, opt.Inject)
+		if err == nil {
+			return n, nil
+		}
+		// Structural fallback: keep the load covered from the inner loop.
+		dist := plan.InnerDistance
+		if dist < 1 {
+			dist = 1
+		}
+		n2, err2 := InjectInnerOpt(f, forest, s, dist, opt.Inject)
+		return n + n2, err2
+	}
+	return InjectInnerOpt(f, forest, s, plan.Distance, opt.Inject)
+}

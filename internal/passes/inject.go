@@ -1,0 +1,741 @@
+package passes
+
+import (
+	"fmt"
+
+	"aptget/internal/ir"
+)
+
+// maxRecurrenceUnroll bounds how many times a non-affine induction update
+// chain is replicated to advance the prefetch address (§3.5's arbitrary
+// induction computation). Beyond this the instruction overhead outweighs
+// the gain — visible in the paper's Figure 11 for RandomAccess.
+const maxRecurrenceUnroll = 8
+
+// injector holds the state of one prefetch-slice injection.
+type injector struct {
+	f      *ir.Func
+	forest *ir.LoopForest
+	idom   []ir.BlockID
+
+	block *ir.Block
+	pos   int // insertion index within block.Instrs
+
+	stable   map[ir.Value]ir.Value // replacements/clones valid for the whole injection
+	volatile map[ir.Value]ir.Value // per-sweep replacements/clones
+
+	stableRoots   map[ir.Value]bool
+	volatileRoots map[ir.Value]bool
+
+	depAnyMemo map[ir.Value]int8
+	depVolMemo map[ir.Value]int8
+
+	consts map[int64]ir.Value
+
+	injected int // instructions added
+}
+
+func newInjector(f *ir.Func, forest *ir.LoopForest, block *ir.Block, pos int) *injector {
+	return &injector{
+		f: f, forest: forest, idom: ir.Dominators(f),
+		block: block, pos: pos,
+		stable:        make(map[ir.Value]ir.Value),
+		volatile:      make(map[ir.Value]ir.Value),
+		stableRoots:   make(map[ir.Value]bool),
+		volatileRoots: make(map[ir.Value]bool),
+		depAnyMemo:    make(map[ir.Value]int8),
+		depVolMemo:    make(map[ir.Value]int8),
+		consts:        make(map[int64]ir.Value),
+	}
+}
+
+// insert places an instruction at the cursor and advances it.
+func (inj *injector) insert(ins ir.Instr) ir.Value {
+	v := inj.f.InsertBefore(inj.block, inj.pos, ins)
+	inj.pos++
+	inj.injected++
+	return v
+}
+
+// constVal returns an OpConst for c, hoisted into the entry block so it
+// executes once (loop bodies stay tight, like LLVM constant materialization
+// outside the loop).
+func (inj *injector) constVal(c int64) ir.Value {
+	if v, ok := inj.consts[c]; ok {
+		return v
+	}
+	entry := inj.f.Blocks[inj.f.Entry]
+	// Reuse an existing entry-block constant when present.
+	for _, v := range entry.Instrs {
+		ins := inj.f.Instr(v)
+		if ins.Op == ir.OpConst && ins.Imm == c {
+			inj.consts[c] = v
+			return v
+		}
+	}
+	pos := len(entry.Instrs)
+	if t := entry.Terminator(inj.f); t != ir.NoValue {
+		pos--
+	}
+	v := inj.f.InsertBefore(entry, pos, ir.Instr{Op: ir.OpConst, Imm: c, Name: "pfdist"})
+	inj.injected++
+	inj.consts[c] = v
+	return v
+}
+
+// dep reports whether v transitively depends on any root in the set.
+// Non-root phis are opaque (cycles must not be followed).
+func (inj *injector) dep(v ir.Value, roots map[ir.Value]bool, memo map[ir.Value]int8) bool {
+	if roots[v] {
+		return true
+	}
+	if m := memo[v]; m != 0 {
+		return m == 2
+	}
+	memo[v] = 1
+	ins := inj.f.Instr(v)
+	out := false
+	if ins.Op != ir.OpPhi && ins.Op != ir.OpConst {
+		for _, a := range ins.Args {
+			if inj.dep(a, roots, memo) {
+				out = true
+				break
+			}
+		}
+	}
+	if out {
+		memo[v] = 2
+	} else {
+		memo[v] = 3
+	}
+	return out
+}
+
+func (inj *injector) depAny(v ir.Value) bool {
+	if inj.dep(v, inj.volatileRoots, inj.depVolMemo) {
+		return true
+	}
+	return inj.dep(v, inj.stableRoots, inj.depAnyMemo)
+}
+
+func (inj *injector) depVolatile(v ir.Value) bool {
+	return inj.dep(v, inj.volatileRoots, inj.depVolMemo)
+}
+
+// clone returns a value equivalent to v at the insertion point, with root
+// phis substituted by their replacements. Values that do not depend on
+// any root and already dominate the insertion point are referenced
+// directly (the paper's pass likewise reuses outer-loop values as
+// constants from the inner loop's perspective).
+func (inj *injector) clone(v ir.Value) (ir.Value, error) {
+	if r, ok := inj.volatile[v]; ok {
+		return r, nil
+	}
+	if r, ok := inj.stable[v]; ok {
+		return r, nil
+	}
+	ins := inj.f.Instr(v)
+	switch ins.Op {
+	case ir.OpConst:
+		return v, nil
+	case ir.OpPhi:
+		if inj.stableRoots[v] || inj.volatileRoots[v] {
+			return ir.NoValue, fmt.Errorf("passes: root phi v%d has no replacement", v)
+		}
+		// A phi of an enclosing loop: it dominates the insertion point.
+		return v, nil
+	}
+	if !inj.depAny(v) {
+		if dominatesValue(inj.f, inj.idom, v, inj.block.ID) {
+			return v, nil
+		}
+	}
+	newArgs := make([]ir.Value, len(ins.Args))
+	for i, a := range ins.Args {
+		c, err := inj.clone(a)
+		if err != nil {
+			return ir.NoValue, err
+		}
+		newArgs[i] = c
+	}
+	nv := inj.insert(ir.Instr{
+		Op: ins.Op, Args: newArgs,
+		Imm: ins.Imm, Pred: ins.Pred, Size: ins.Size,
+		Name: suffixed(ins.Name),
+	})
+	if inj.depVolatile(v) {
+		inj.volatile[v] = nv
+	} else {
+		inj.stable[v] = nv
+	}
+	return nv, nil
+}
+
+func suffixed(name string) string {
+	if name == "" {
+		return ""
+	}
+	return name + ".pf"
+}
+
+// dominatesValue reports whether the definition of v dominates block id.
+// Same-block definitions count as dominating: slices only reference
+// values defined before the insertion point (the load's address chain
+// precedes the load; preheader values precede the terminator).
+func dominatesValue(f *ir.Func, idom []ir.BlockID, v ir.Value, id ir.BlockID) bool {
+	def := f.Instr(v).Block
+	if def == id {
+		return true
+	}
+	for cur := id; ; {
+		if cur == def {
+			return true
+		}
+		if idom[cur] == ir.NoBlock || idom[cur] == cur {
+			return false
+		}
+		cur = idom[cur]
+	}
+}
+
+// advancedPhi builds the replacement for an induction phi advanced by
+// `distance` iterations: for affine IVs `phi + distance*step`, clamped to
+// the loop bound when recognizable (the Listing 4 min() idiom); for
+// non-affine recurrences the update chain unrolled min(distance, 8)
+// times.
+func (inj *injector) advancedPhi(phi ir.Value, distance int64) (ir.Value, error) {
+	f, forest := inj.f, inj.forest
+	if step, ok := affineStep(f, forest, phi); ok {
+		ivd := inj.insert(ir.Instr{
+			Op: ir.OpAdd, Args: []ir.Value{phi, inj.constVal(distance * step)},
+			Name: suffixed(f.Instr(phi).Name),
+		})
+		bound, haveBound := loopBound(f, forest, phi)
+		if !haveBound || step != 1 {
+			return ivd, nil
+		}
+		// min(iv+d, bound-1): keep the prefetch address inside the
+		// array, so a too-large distance degenerates into re-prefetching
+		// the last element (the Table 1 Dist-1024 accuracy collapse).
+		bm1 := inj.insert(ir.Instr{Op: ir.OpSub, Args: []ir.Value{bound, inj.constVal(1)}})
+		cond := inj.insert(ir.Instr{Op: ir.OpCmp, Pred: ir.PredLT, Args: []ir.Value{ivd, bound}})
+		return inj.insert(ir.Instr{Op: ir.OpSelect, Args: []ir.Value{cond, ivd, bm1}}), nil
+	}
+
+	// Non-affine recurrence: replicate the update chain.
+	next, ok := phiBackEdge(f, forest, phi)
+	if !ok {
+		return ir.NoValue, fmt.Errorf("passes: phi v%d has no back-edge value", phi)
+	}
+	unroll := distance
+	if unroll > maxRecurrenceUnroll {
+		unroll = maxRecurrenceUnroll
+	}
+	cur := phi
+	for u := int64(0); u < unroll; u++ {
+		nv, err := inj.cloneUpdate(next, phi, cur)
+		if err != nil {
+			return ir.NoValue, err
+		}
+		cur = nv
+	}
+	return cur, nil
+}
+
+// cloneUpdate clones the pure-ALU chain computing `next` from `root`,
+// substituting `cur` for the root. Loads in the update chain are
+// rejected: replaying them would replay side-band state reads that may
+// not be idempotent across iterations.
+func (inj *injector) cloneUpdate(v, root, cur ir.Value) (ir.Value, error) {
+	if v == root {
+		return cur, nil
+	}
+	ins := inj.f.Instr(v)
+	switch {
+	case ins.Op == ir.OpConst:
+		return v, nil
+	case ins.Op == ir.OpPhi:
+		return v, nil // enclosing-loop phi: dominates
+	case ins.Op.IsBinary() || ins.Op == ir.OpCmp || ins.Op == ir.OpSelect:
+	default:
+		return ir.NoValue, fmt.Errorf("passes: unsupported op %s in induction update chain", ins.Op)
+	}
+	if !inj.dep(v, map[ir.Value]bool{root: true}, make(map[ir.Value]int8)) {
+		if dominatesValue(inj.f, inj.idom, v, inj.block.ID) {
+			return v, nil
+		}
+		return ir.NoValue, fmt.Errorf("passes: loop-local invariant v%d in update chain", v)
+	}
+	newArgs := make([]ir.Value, len(ins.Args))
+	for i, a := range ins.Args {
+		c, err := inj.cloneUpdate(a, root, cur)
+		if err != nil {
+			return ir.NoValue, err
+		}
+		newArgs[i] = c
+	}
+	return inj.insert(ir.Instr{
+		Op: ins.Op, Args: newArgs,
+		Imm: ins.Imm, Pred: ins.Pred, Size: ins.Size,
+		Name: suffixed(ins.Name),
+	}), nil
+}
+
+// InjectOptions toggles pass features for ablation studies (DESIGN.md
+// §6): staged prefetching for deep indirection chains, and line-granular
+// sweep stepping.
+type InjectOptions struct {
+	// DisableStaging emits only the final prefetch, leaving intermediate
+	// slice loads unprefetched (the naive multi-level slice).
+	DisableStaging bool
+	// DisableLineStride sweeps the outer-site inner iterations
+	// per element instead of per cache line.
+	DisableLineStride bool
+}
+
+// maxStageLevel caps how deep the staged prefetching goes: loads more
+// than this many indirections behind the target execute unprefetched
+// (in practice they are sequential streams the hardware covers).
+const maxStageLevel = 2
+
+// stageInfo is one staged prefetch: the load whose address is prefetched
+// and its indirection level behind the target (0 = the target itself).
+// Following Ainsworth & Jones, a chain A[B[C[i]]] is covered by staged
+// prefetches at look-ahead multiples of the distance: C's consumer at
+// 3×D, B's at 2×D, A at D — so that when a shallower stage executes the
+// deeper load as part of its address computation, the line was already
+// prefetched D iterations earlier by the deeper stage.
+type stageInfo struct {
+	load  ir.Value
+	level int
+}
+
+// stagesFor walks the target's address chain — continuing through the
+// phis in `through`, which injection substitutes by their init chains —
+// and returns the prefetch stages, deepest first. Stages whose own
+// address chain contains no load are dropped: those addresses are affine
+// streams the hardware stride prefetcher already covers.
+func stagesFor(f *ir.Func, forest *ir.LoopForest, target ir.Value, through map[ir.Value]bool, o InjectOptions) []stageInfo {
+	if o.DisableStaging {
+		return []stageInfo{{load: target, level: 0}}
+	}
+	levels := make(map[ir.Value]int)
+	var dfs func(v ir.Value, lvl int)
+	dfs = func(v ir.Value, lvl int) {
+		ins := f.Instr(v)
+		switch {
+		case ins.Op == ir.OpLoad:
+			if old, ok := levels[v]; ok && old <= lvl {
+				return
+			}
+			levels[v] = lvl
+			dfs(ins.Args[0], lvl+1)
+		case ins.Op == ir.OpPhi:
+			if through[v] {
+				if init, ok := phiInit(f, forest, v); ok {
+					dfs(init, lvl)
+				}
+			}
+		case ins.Op.IsBinary() || ins.Op == ir.OpCmp || ins.Op == ir.OpSelect:
+			for _, a := range ins.Args {
+				dfs(a, lvl)
+			}
+		}
+	}
+	dfs(f.Instr(target).Args[0], 1)
+
+	stages := []stageInfo{{load: target, level: 0}}
+	for v, lvl := range levels {
+		if lvl > maxStageLevel {
+			continue
+		}
+		if !addrChainHasLoad(f, forest, f.Instr(v).Args[0], through) {
+			continue
+		}
+		stages = append(stages, stageInfo{load: v, level: lvl})
+	}
+	// Deepest first; ties by value for determinism.
+	for i := 1; i < len(stages); i++ {
+		for j := i; j > 0 && (stages[j].level > stages[j-1].level ||
+			(stages[j].level == stages[j-1].level && stages[j].load < stages[j-1].load)); j-- {
+			stages[j], stages[j-1] = stages[j-1], stages[j]
+		}
+	}
+	return stages
+}
+
+// addrChainHasLoad reports whether the address chain contains a load
+// (traversing through substituted phis).
+func addrChainHasLoad(f *ir.Func, forest *ir.LoopForest, v ir.Value, through map[ir.Value]bool) bool {
+	seen := make(map[ir.Value]bool)
+	var dfs func(v ir.Value) bool
+	dfs = func(v ir.Value) bool {
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+		ins := f.Instr(v)
+		switch {
+		case ins.Op == ir.OpLoad:
+			return true
+		case ins.Op == ir.OpPhi:
+			if through[v] {
+				if init, ok := phiInit(f, forest, v); ok {
+					return dfs(init)
+				}
+			}
+			return false
+		case ins.Op.IsBinary() || ins.Op == ir.OpCmp || ins.Op == ir.OpSelect:
+			for _, a := range ins.Args {
+				if dfs(a) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(v)
+}
+
+// reachesPhi reports whether the address chain reaches the phi directly
+// (without init substitution) — used to decide whether an outer-site
+// stage must be swept over the inner iterations.
+func reachesPhi(f *ir.Func, v ir.Value, phi ir.Value) bool {
+	seen := make(map[ir.Value]bool)
+	var dfs func(v ir.Value) bool
+	dfs = func(v ir.Value) bool {
+		if v == phi {
+			return true
+		}
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+		ins := f.Instr(v)
+		if ins.Op == ir.OpPhi || ins.Op == ir.OpConst {
+			return false
+		}
+		for _, a := range ins.Args {
+			if dfs(a) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(v)
+}
+
+// InjectInner inserts the prefetch slice immediately before the load,
+// inside its innermost loop, with the induction variable advanced by
+// `distance` iterations (the InjectPrefechesOnePhi path of Algorithm 2;
+// Listing 4 shows the resulting IR for the microbenchmark). Indirection
+// chains deeper than one level receive staged prefetches at distance
+// multiples. Returns the number of instructions added.
+func InjectInner(f *ir.Func, forest *ir.LoopForest, s *Slice, distance int64) (int, error) {
+	return InjectInnerOpt(f, forest, s, distance, InjectOptions{})
+}
+
+// InjectInnerOpt is InjectInner with ablation options.
+func InjectInnerOpt(f *ir.Func, forest *ir.LoopForest, s *Slice, distance int64, o InjectOptions) (int, error) {
+	if distance < 1 {
+		return 0, fmt.Errorf("passes: invalid distance %d", distance)
+	}
+	loadIns := f.Instr(s.Load)
+	loop := forest.InnermostFor(loadIns.Block)
+	if loop == nil {
+		return 0, fmt.Errorf("passes: load v%d is not in a loop", s.Load)
+	}
+	phi, ok := s.phiOfLoop(f, loop)
+	if !ok {
+		return 0, fmt.Errorf("passes: load v%d does not depend on its loop's induction variable", s.Load)
+	}
+	block := f.Blocks[loadIns.Block]
+	pos := indexOf(block.Instrs, s.Load)
+	if pos < 0 {
+		return 0, fmt.Errorf("passes: load v%d missing from its block", s.Load)
+	}
+
+	total := 0
+	for _, st := range stagesFor(f, forest, s.Load, nil, o) {
+		inj := newInjector(f, forest, block, pos)
+		inj.stableRoots[phi] = true
+		rep, err := inj.advancedPhi(phi, distance*int64(st.level+1))
+		if err != nil {
+			if st.level > 0 {
+				continue
+			}
+			return total + inj.injected, err
+		}
+		inj.stable[phi] = rep
+		addr, err := inj.clone(f.Instr(st.load).Args[0])
+		if err != nil {
+			if st.level > 0 {
+				continue
+			}
+			return total + inj.injected, err
+		}
+		inj.insert(ir.Instr{Op: ir.OpPrefetch, Args: []ir.Value{addr}, Size: 8})
+		pos = inj.pos
+		total += inj.injected
+	}
+	return total, nil
+}
+
+// InjectOuter inserts the prefetch slice into the parent loop (in the
+// inner loop's preheader block, which executes once per outer iteration),
+// advancing the *outer* induction variable by `distance` and pinning the
+// inner induction variable to its first `sweep` iterations (§3.3/§3.5:
+// iv2 = 0 swept up to the LBR-measured average trip count). This is the
+// InjectPrefechesMorePhis path of Algorithm 2.
+func InjectOuter(f *ir.Func, forest *ir.LoopForest, s *Slice, distance int64, sweep int64) (int, error) {
+	return InjectOuterOpt(f, forest, s, distance, sweep, InjectOptions{})
+}
+
+// InjectOuterOpt is InjectOuter with ablation options.
+func InjectOuterOpt(f *ir.Func, forest *ir.LoopForest, s *Slice, distance int64, sweep int64, o InjectOptions) (int, error) {
+	if distance < 1 {
+		return 0, fmt.Errorf("passes: invalid distance %d", distance)
+	}
+	if sweep < 1 {
+		sweep = 1
+	}
+	loadIns := f.Instr(s.Load)
+	inner := forest.InnermostFor(loadIns.Block)
+	if inner == nil || inner.Parent == nil {
+		return 0, fmt.Errorf("passes: load v%d has no enclosing nested loop", s.Load)
+	}
+	outer := inner.Parent
+	outerPhi, ok := s.phiOfLoop(f, outer)
+	if !ok {
+		return 0, fmt.Errorf("passes: load v%d does not depend on the outer induction variable", s.Load)
+	}
+
+	// The inner loop's preheader: the unique predecessor of the inner
+	// header outside the inner loop. It runs once per outer iteration.
+	var pre ir.BlockID = ir.NoBlock
+	for _, p := range f.Preds(inner.Header) {
+		if !inner.Blocks[p] {
+			if pre != ir.NoBlock {
+				return 0, fmt.Errorf("passes: inner loop has multiple preheaders")
+			}
+			pre = p
+		}
+	}
+	if pre == ir.NoBlock {
+		return 0, fmt.Errorf("passes: inner loop preheader not found")
+	}
+	block := f.Blocks[pre]
+	pos := len(block.Instrs)
+	if t := block.Terminator(f); t != ir.NoValue {
+		pos--
+	}
+
+	innerPhi, hasInner := s.phiOfLoop(f, inner)
+	through := map[ir.Value]bool{}
+	if hasInner {
+		through[innerPhi] = true
+	}
+
+	total := 0
+	for _, st := range stagesFor(f, forest, s.Load, through, o) {
+		n, err := injectOuterStage(f, forest, block, &pos, st, outerPhi, innerPhi, hasInner,
+			distance, sweep, loadIns, o)
+		total += n
+		if err != nil {
+			if st.level > 0 {
+				continue
+			}
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// injectOuterStage emits one staged prefetch at the outer site: the
+// outer induction variable advanced by (level+1)×distance, and — when
+// the stage's address depends on the inner induction variable — the
+// inner phi substituted by its (cloned) init value swept over the first
+// `sweep` inner iterations.
+func injectOuterStage(f *ir.Func, forest *ir.LoopForest, block *ir.Block, pos *int,
+	st stageInfo, outerPhi, innerPhi ir.Value, hasInner bool,
+	distance, sweep int64, loadIns *ir.Instr, o InjectOptions) (int, error) {
+
+	inj := newInjector(f, forest, block, *pos)
+	inj.stableRoots[outerPhi] = true
+	if hasInner {
+		inj.volatileRoots[innerPhi] = true
+	}
+
+	outerRep, err := inj.advancedPhi(outerPhi, distance*int64(st.level+1))
+	if err != nil {
+		return inj.injected, err
+	}
+	inj.stable[outerPhi] = outerRep
+
+	stAddr := f.Instr(st.load).Args[0]
+	needSweep := hasInner && reachesPhi(f, stAddr, innerPhi)
+
+	if !needSweep {
+		if hasInner {
+			// The chain may still traverse the inner phi via its init
+			// substitution; map it to the cloned init (first iteration).
+			init, ok := phiInit(f, forest, innerPhi)
+			if ok {
+				iv, err := inj.clone(init)
+				if err != nil {
+					return inj.injected, err
+				}
+				inj.volatile[innerPhi] = iv
+			}
+		}
+		addr, err := inj.clone(stAddr)
+		if err != nil {
+			return inj.injected, err
+		}
+		inj.insert(ir.Instr{Op: ir.OpPrefetch, Args: []ir.Value{addr}, Size: 8})
+		*pos = inj.pos
+		return inj.injected, nil
+	}
+
+	// Swept stage: inner induction values are the inner phi's init value
+	// (cloned under the advanced outer IV — e.g. rowptr[u+d] for CSR
+	// kernels) advanced across the first `sweep` inner iterations. When
+	// the stage address is affine in the inner phi, one prefetch covers
+	// a whole cache line of elements, so the sweep steps by line-sized
+	// strides (prefetching per line, as the real pass does).
+	init, ok := phiInit(f, forest, innerPhi)
+	if !ok {
+		return inj.injected, fmt.Errorf("passes: inner phi v%d has no init value", innerPhi)
+	}
+	cur, err := inj.clone(init)
+	if err != nil {
+		return inj.injected, err
+	}
+	step, affine := affineStep(f, forest, innerPhi)
+	jStep := int64(1)
+	if stride, ok := affineStrideInPhi(f, stAddr, innerPhi); !o.DisableLineStride && ok && stride > 0 && stride < 64 {
+		jStep = 64 / stride
+		if jStep < 1 {
+			jStep = 1
+		}
+	}
+	// The swept range rarely starts line-aligned, so cover one extra
+	// stride beyond the nominal sweep to catch the crossing line.
+	limit := sweep
+	if jStep > 1 {
+		limit = sweep + jStep - 1
+	}
+	for j := int64(0); j < limit; j += jStep {
+		if j > 0 {
+			if affine {
+				cur = inj.insert(ir.Instr{
+					Op: ir.OpAdd, Args: []ir.Value{cur, inj.constVal(step * jStep)},
+					Name: suffixed(f.Instr(innerPhi).Name),
+				})
+			} else {
+				next, ok := phiBackEdge(f, forest, innerPhi)
+				if !ok {
+					break
+				}
+				for k := int64(0); k < jStep; k++ {
+					cur, err = inj.cloneUpdate(next, innerPhi, cur)
+					if err != nil {
+						return inj.injected, err
+					}
+				}
+			}
+		}
+		// Reset per-sweep clones; the inner phi now maps to this
+		// iteration's induction value.
+		inj.volatile = map[ir.Value]ir.Value{innerPhi: cur}
+		addr, err := inj.clone(stAddr)
+		if err != nil {
+			return inj.injected, err
+		}
+		inj.insert(ir.Instr{Op: ir.OpPrefetch, Args: []ir.Value{addr}, Size: 8})
+	}
+	*pos = inj.pos
+	return inj.injected, nil
+}
+
+// affineStrideInPhi computes the byte stride of addr per unit of phi when
+// addr is affine in phi (phi reached only through +, −, <<const, ×const
+// chains, no loads). Returns ok=false otherwise.
+func affineStrideInPhi(f *ir.Func, addr, phi ir.Value) (int64, bool) {
+	var walk func(v ir.Value) (int64, bool, bool) // (stride, containsPhi, affine)
+	walk = func(v ir.Value) (int64, bool, bool) {
+		if v == phi {
+			return 1, true, true
+		}
+		ins := f.Instr(v)
+		switch ins.Op {
+		case ir.OpConst:
+			return 0, false, true
+		case ir.OpPhi, ir.OpLoad:
+			// Opaque: fine as long as it doesn't hide the phi. Loads of
+			// the phi's function are not affine.
+			if ins.Op == ir.OpLoad && reachesPhi(f, ins.Args[0], phi) {
+				return 0, false, false
+			}
+			return 0, false, true
+		case ir.OpAdd, ir.OpSub:
+			s0, c0, ok0 := walk(ins.Args[0])
+			s1, c1, ok1 := walk(ins.Args[1])
+			if !ok0 || !ok1 {
+				return 0, false, false
+			}
+			if ins.Op == ir.OpSub {
+				s1 = -s1
+			}
+			return s0 + s1, c0 || c1, true
+		case ir.OpShl:
+			s0, c0, ok0 := walk(ins.Args[0])
+			sh := f.Instr(ins.Args[1])
+			if !ok0 || sh.Op != ir.OpConst {
+				return 0, false, !c0
+			}
+			return s0 << uint(sh.Imm&63), c0, true
+		case ir.OpMul:
+			s0, c0, ok0 := walk(ins.Args[0])
+			s1, c1, ok1 := walk(ins.Args[1])
+			switch {
+			case !ok0 || !ok1 || (c0 && c1):
+				return 0, false, false
+			case c0 && f.Instr(ins.Args[1]).Op == ir.OpConst:
+				return s0 * f.Instr(ins.Args[1]).Imm, true, true
+			case c1 && f.Instr(ins.Args[0]).Op == ir.OpConst:
+				return s1 * f.Instr(ins.Args[0]).Imm, true, true
+			case !c0 && !c1:
+				return 0, false, true
+			default:
+				return 0, false, false
+			}
+		default:
+			// Any other op on the phi path breaks affinity.
+			s0 := false
+			for _, a := range ins.Args {
+				if reachesPhi(f, a, phi) || a == phi {
+					s0 = true
+				}
+			}
+			return 0, false, !s0
+		}
+	}
+	stride, containsPhi, ok := walk(addr)
+	if !ok || !containsPhi {
+		return 0, false
+	}
+	if stride < 0 {
+		stride = -stride
+	}
+	return stride, stride != 0
+}
+
+func indexOf(list []ir.Value, v ir.Value) int {
+	for i, x := range list {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

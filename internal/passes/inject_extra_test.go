@@ -1,0 +1,208 @@
+package passes
+
+import (
+	"math/rand"
+	"testing"
+
+	"aptget/internal/ir"
+	"aptget/internal/mem"
+)
+
+// buildConditionalIndirect places the delinquent load inside an If within
+// the inner loop (the SSSP/BFS shape): the injection site and slice
+// cloning must handle multi-block loop bodies.
+func buildConditionalIndirect(outer, inner, table int64) (*ir.Program, ir.Array, ir.Array, ir.Array) {
+	b := ir.NewBuilder("cond")
+	bArr := b.Alloc("B", outer*inner, 8)
+	tArr := b.Alloc("T", table, 8)
+	out := b.Alloc("out", 1, 8)
+	zero := b.Const(0)
+	b.Loop("i", zero, b.Const(outer), 1, func(i ir.Value) {
+		base := b.Mul(i, b.Const(inner))
+		b.Loop("j", zero, b.Const(inner), 1, func(j ir.Value) {
+			idx := b.LoadElem(bArr, b.Add(base, j))
+			// Only odd indices hit the table.
+			odd := b.And(idx, b.Const(1))
+			b.If(b.Cmp(ir.PredEQ, odd, b.Const(1)), func() {
+				v := b.LoadElem(tArr, idx)
+				acc := b.LoadElem(out, zero)
+				b.StoreElem(out, zero, b.Add(acc, v))
+			}, nil)
+		})
+	})
+	return b.Finish(), bArr, tArr, out
+}
+
+func initCond(bArr, tArr ir.Array, seed int64) func(*mem.Arena) {
+	return func(a *mem.Arena) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := int64(0); i < bArr.Count; i++ {
+			a.Write(bArr.Addr(i), rng.Int63n(tArr.Count), 8)
+		}
+		for i := int64(0); i < tArr.Count; i++ {
+			a.Write(tArr.Addr(i), i%23, 8)
+		}
+	}
+}
+
+func TestInjectInnerInsideIfBlock(t *testing.T) {
+	const outer, inner, table = 32, 256, 1 << 18
+	base, bA, tA, outA := buildConditionalIndirect(outer, inner, table)
+	resBase := run(t, base, initCond(bA, tA, 3))
+	want := resBase.Hier.Arena.Read(outA.Addr(0), 8)
+
+	p2, bB, tB, outB := buildConditionalIndirect(outer, inner, table)
+	f := p2.Func
+	forest := ir.AnalyzeLoops(f)
+	load := findIndirectLoad(t, f)
+	// The load lives in the if.then block, not the loop header.
+	if f.Instr(load).Block == forest.InnermostFor(f.Instr(load).Block).Header {
+		t.Fatal("test precondition: load should live in a non-header block")
+	}
+	s, ok := ExtractSlice(f, forest, load)
+	if !ok {
+		t.Fatal("slice extraction failed for conditional load")
+	}
+	if _, err := InjectInner(f, forest, s, 16); err != nil {
+		t.Fatal(err)
+	}
+	f.AssignPCs()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("invalid IR: %v", err)
+	}
+	res := run(t, p2, initCond(bB, tB, 3))
+	if got := res.Hier.Arena.Read(outB.Addr(0), 8); got != want {
+		t.Fatalf("conditional injection changed semantics: %d vs %d", got, want)
+	}
+	if res.Counters.SWPrefetches == 0 {
+		t.Fatal("no prefetches executed")
+	}
+	if sp := float64(resBase.Counters.Cycles) / float64(res.Counters.Cycles); sp < 1.2 {
+		t.Fatalf("conditional inner injection should help, got %.2fx", sp)
+	}
+}
+
+func TestInjectOptionsDisableStaging(t *testing.T) {
+	// BFS-shaped chain: staged injection adds more instructions than the
+	// unstaged variant.
+	build := func() (*ir.Program, ir.Array, ir.Array, ir.Array, ir.Array) {
+		b := ir.NewBuilder("chain")
+		idxArr := b.Alloc("idx", 4096, 8)
+		midArr := b.Alloc("mid", 1<<16, 8)
+		tArr := b.Alloc("T", 1<<17, 8)
+		out := b.Alloc("out", 1, 8)
+		zero := b.Const(0)
+		b.Loop("i", zero, b.Const(4096), 1, func(i ir.Value) {
+			a := b.LoadElem(idxArr, i)
+			m := b.LoadElem(midArr, a)
+			v := b.LoadElem(tArr, m)
+			acc := b.LoadElem(out, zero)
+			b.StoreElem(out, zero, b.Add(acc, v))
+		})
+		return b.Finish(), idxArr, midArr, tArr, out
+	}
+
+	inject := func(o InjectOptions) int {
+		p, _, _, _, _ := build()
+		f := p.Func
+		forest := ir.AnalyzeLoops(f)
+		// Find the deepest indirect load (two loads in its chain).
+		var target ir.Value = ir.NoValue
+		for _, c := range Candidates(f, forest) {
+			if s, ok := ExtractSlice(f, forest, c); ok && s.MainLoads >= 2 {
+				target = c
+			}
+		}
+		if target == ir.NoValue {
+			t.Fatal("two-level indirect load not found")
+		}
+		s, _ := ExtractSlice(f, forest, target)
+		n, err := InjectInnerOpt(f, forest, s, 8, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.AssignPCs()
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	staged := inject(InjectOptions{})
+	unstaged := inject(InjectOptions{DisableStaging: true})
+	if staged <= unstaged {
+		t.Fatalf("staging should add instructions: staged %d vs unstaged %d", staged, unstaged)
+	}
+}
+
+// buildCSRKernel is the BFS/SpMV shape: for u: for e in rowptr[u]..
+// rowptr[u+1]: out ^= dist[col[e]]. The swept col[e] stage is affine in
+// the inner induction variable, so the line-stride optimization applies.
+func buildCSRKernel(n int64) *ir.Program {
+	b := ir.NewBuilder("csr")
+	rowptr := b.Alloc("rowptr", n+1, 8)
+	col := b.Alloc("col", n*8, 8)
+	dist := b.Alloc("dist", 1<<16, 8)
+	out := b.Alloc("out", 1, 8)
+	zero := b.Const(0)
+	one := b.Const(1)
+	b.Loop("u", zero, b.Const(n), 1, func(u ir.Value) {
+		rs := b.LoadElem(rowptr, u)
+		re := b.LoadElem(rowptr, b.Add(u, one))
+		b.Loop("e", rs, re, 1, func(e ir.Value) {
+			v := b.LoadElem(col, e)
+			d := b.LoadElem(dist, v)
+			acc := b.LoadElem(out, zero)
+			b.StoreElem(out, zero, b.Xor(acc, d))
+		})
+	})
+	return b.Finish()
+}
+
+func TestInjectOptionsDisableLineStride(t *testing.T) {
+	count := func(o InjectOptions) int {
+		p := buildCSRKernel(512)
+		f := p.Func
+		forest := ir.AnalyzeLoops(f)
+		s, _ := ExtractSlice(f, forest, findIndirectLoad(t, f))
+		n, err := InjectOuterOpt(f, forest, s, 2, 8, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.AssignPCs()
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	lineStride := count(InjectOptions{})
+	perElement := count(InjectOptions{DisableLineStride: true})
+	if perElement <= lineStride {
+		t.Fatalf("per-element sweep should add instructions: %d vs %d", perElement, lineStride)
+	}
+}
+
+func TestAffineStrideInPhi(t *testing.T) {
+	b := ir.NewBuilder("stride")
+	arr := b.Alloc("a", 128, 8)
+	tArr := b.Alloc("t", 1024, 8)
+	zero := b.Const(0)
+	var affineAddr, indirectAddr, phi ir.Value
+	b.Loop("i", zero, b.Const(128), 1, func(i ir.Value) {
+		phi = i
+		affineAddr = b.Index(arr, i) // base + i*8
+		v := b.LoadElem(arr, i)
+		indirectAddr = b.Index(tArr, v) // base + load*8: not affine in i
+		_ = b.Load(indirectAddr, 8)
+	})
+	p := b.Finish()
+	f := p.Func
+
+	stride, ok := affineStrideInPhi(f, affineAddr, phi)
+	if !ok || stride != 8 {
+		t.Fatalf("affine stride = %d/%v, want 8/true", stride, ok)
+	}
+	if _, ok := affineStrideInPhi(f, indirectAddr, phi); ok {
+		t.Fatal("load-dependent address must not be affine")
+	}
+}

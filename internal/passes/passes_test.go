@@ -1,0 +1,433 @@
+package passes
+
+import (
+	"math/rand"
+	"testing"
+
+	"aptget/internal/analysis"
+	"aptget/internal/cpu"
+	"aptget/internal/ir"
+	"aptget/internal/mem"
+	"aptget/internal/profile"
+)
+
+// buildNestedIndirect builds the paper's microbenchmark skeleton:
+//
+//	for i in [0,outer): for j in [0,inner): out += T[B[i*inner+j]]
+func buildNestedIndirect(outer, inner, table int64) (*ir.Program, ir.Array, ir.Array, ir.Array) {
+	b := ir.NewBuilder("micro")
+	bArr := b.Alloc("B", outer*inner, 8)
+	tArr := b.Alloc("T", table, 8)
+	out := b.Alloc("out", 1, 8)
+	zero := b.Const(0)
+	b.Loop("i", zero, b.Const(outer), 1, func(i ir.Value) {
+		base := b.Mul(i, b.Const(inner))
+		b.Loop("j", zero, b.Const(inner), 1, func(j ir.Value) {
+			idx := b.LoadElem(bArr, b.Add(base, j))
+			v := b.LoadElem(tArr, idx)
+			acc := b.LoadElem(out, zero)
+			b.StoreElem(out, zero, b.Add(acc, v))
+		})
+	})
+	return b.Finish(), bArr, tArr, out
+}
+
+func initNested(bArr, tArr ir.Array, seed int64) func(*mem.Arena) {
+	return func(a *mem.Arena) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := int64(0); i < bArr.Count; i++ {
+			a.Write(bArr.Addr(i), rng.Int63n(tArr.Count), 8)
+		}
+		for i := int64(0); i < tArr.Count; i++ {
+			a.Write(tArr.Addr(i), i*3%101, 8)
+		}
+	}
+}
+
+// findIndirectLoad returns the T load (the load whose slice contains
+// another load).
+func findIndirectLoad(t *testing.T, f *ir.Func) ir.Value {
+	t.Helper()
+	forest := ir.AnalyzeLoops(f)
+	for vi := range f.Instrs {
+		v := ir.Value(vi)
+		if f.Instrs[v].Op != ir.OpLoad {
+			continue
+		}
+		if s, ok := ExtractSlice(f, forest, v); ok && s.LoadsInChain >= 1 {
+			return v
+		}
+	}
+	t.Fatal("indirect load not found")
+	return ir.NoValue
+}
+
+func run(t *testing.T, p *ir.Program, init func(*mem.Arena)) *cpu.Result {
+	t.Helper()
+	res, err := cpu.Run(p, mem.ConfigScaled(), cpu.Options{InitMem: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestExtractSliceShape(t *testing.T) {
+	p, _, _, _ := buildNestedIndirect(4, 8, 1024)
+	f := p.Func
+	forest := ir.AnalyzeLoops(f)
+	load := findIndirectLoad(t, f)
+	s, ok := ExtractSlice(f, forest, load)
+	if !ok {
+		t.Fatal("slice extraction failed")
+	}
+	if s.LoadsInChain != 1 {
+		t.Fatalf("loads in chain = %d, want 1", s.LoadsInChain)
+	}
+	if s.RecurrenceRoot {
+		t.Fatal("affine IVs misclassified as recurrence")
+	}
+	if len(s.Phis) != 2 {
+		t.Fatalf("phis = %d, want 2 (inner+outer)", len(s.Phis))
+	}
+	// Innermost first: the first phi must be named j.
+	if f.Instr(s.Phis[0]).Name != "j" || f.Instr(s.Phis[1]).Name != "i" {
+		t.Fatalf("phi order wrong: %q, %q",
+			f.Instr(s.Phis[0]).Name, f.Instr(s.Phis[1]).Name)
+	}
+}
+
+func TestCandidatesFindsOnlyIndirect(t *testing.T) {
+	p, _, _, _ := buildNestedIndirect(4, 8, 1024)
+	f := p.Func
+	forest := ir.AnalyzeLoops(f)
+	cands := Candidates(f, forest)
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d, want 1 (only the T load)", len(cands))
+	}
+	s, _ := ExtractSlice(f, forest, cands[0])
+	if s.LoadsInChain != 1 {
+		t.Fatal("candidate should be the indirect load")
+	}
+}
+
+func TestInjectInnerPreservesSemanticsAndSpeedsUp(t *testing.T) {
+	const outer, inner, table = 16, 512, 1 << 18
+	base, bA, tA, outA := buildNestedIndirect(outer, inner, table)
+	resBase := run(t, base, initNested(bA, tA, 5))
+
+	p2, bB, tB, outB := buildNestedIndirect(outer, inner, table)
+	f := p2.Func
+	forest := ir.AnalyzeLoops(f)
+	load := findIndirectLoad(t, f)
+	s, _ := ExtractSlice(f, forest, load)
+	n, err := InjectInner(f, forest, s, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no instructions injected")
+	}
+	f.AssignPCs()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("transformed IR invalid: %v\n%s", err, f)
+	}
+	resPF := run(t, p2, initNested(bB, tB, 5))
+
+	if a, b := resBase.Hier.Arena.Read(outA.Addr(0), 8), resPF.Hier.Arena.Read(outB.Addr(0), 8); a != b {
+		t.Fatalf("semantics changed: %d vs %d", a, b)
+	}
+	if resPF.Counters.SWPrefetches == 0 {
+		t.Fatal("no prefetches executed")
+	}
+	speedup := float64(resBase.Counters.Cycles) / float64(resPF.Counters.Cycles)
+	if speedup < 1.5 {
+		t.Fatalf("inner injection should speed up the kernel, got %.2fx", speedup)
+	}
+}
+
+func TestInjectInnerClampStopsOutOfRange(t *testing.T) {
+	// Distance far beyond the trip count: the Listing 4 clamp pins the
+	// prefetch to the last element, so prefetch-flavoured offcore
+	// requests collapse (Table 1's Dist-1024 row).
+	const outer, inner, table = 16, 64, 1 << 18
+	p, bA, tA, _ := buildNestedIndirect(outer, inner, table)
+	f := p.Func
+	forest := ir.AnalyzeLoops(f)
+	load := findIndirectLoad(t, f)
+	s, _ := ExtractSlice(f, forest, load)
+	if _, err := InjectInner(f, forest, s, 1024); err != nil {
+		t.Fatal(err)
+	}
+	f.AssignPCs()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, p, initNested(bA, tA, 6))
+	acc := res.Counters.PrefetchAccuracy()
+	if acc > 0.3 {
+		t.Fatalf("overshooting distance should collapse prefetch share of offcore, got %.2f", acc)
+	}
+}
+
+func TestInjectOuterSmallTripBeatsInner(t *testing.T) {
+	const outer, inner, table = 8192, 4, 1 << 18
+
+	base, bA, tA, outA := buildNestedIndirect(outer, inner, table)
+	resBase := run(t, base, initNested(bA, tA, 7))
+	want := resBase.Hier.Arena.Read(outA.Addr(0), 8)
+
+	// Inner injection at distance 4 (≈trip count: almost no coverage).
+	pIn, bB, tB, outB := buildNestedIndirect(outer, inner, table)
+	{
+		f := pIn.Func
+		forest := ir.AnalyzeLoops(f)
+		s, _ := ExtractSlice(f, forest, findIndirectLoad(t, f))
+		if _, err := InjectInner(f, forest, s, 4); err != nil {
+			t.Fatal(err)
+		}
+		f.AssignPCs()
+	}
+	resIn := run(t, pIn, initNested(bB, tB, 7))
+	if got := resIn.Hier.Arena.Read(outB.Addr(0), 8); got != want {
+		t.Fatalf("inner injection changed semantics: %d vs %d", got, want)
+	}
+
+	// Outer injection, distance 4, sweep = trip count.
+	pOut, bC, tC, outC := buildNestedIndirect(outer, inner, table)
+	{
+		f := pOut.Func
+		forest := ir.AnalyzeLoops(f)
+		s, _ := ExtractSlice(f, forest, findIndirectLoad(t, f))
+		n, err := InjectOuter(f, forest, s, 4, inner)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatal("outer injection added nothing")
+		}
+		f.AssignPCs()
+		if err := f.Validate(); err != nil {
+			t.Fatalf("outer-injected IR invalid: %v\n%s", err, f)
+		}
+	}
+	resOut := run(t, pOut, initNested(bC, tC, 7))
+	if got := resOut.Hier.Arena.Read(outC.Addr(0), 8); got != want {
+		t.Fatalf("outer injection changed semantics: %d vs %d", got, want)
+	}
+
+	spIn := float64(resBase.Counters.Cycles) / float64(resIn.Counters.Cycles)
+	spOut := float64(resBase.Counters.Cycles) / float64(resOut.Counters.Cycles)
+	if spOut <= spIn {
+		t.Fatalf("outer injection should beat inner for trip count 4: inner %.2fx outer %.2fx", spIn, spOut)
+	}
+	if spOut < 1.2 {
+		t.Fatalf("outer injection should provide real speedup, got %.2fx", spOut)
+	}
+}
+
+// buildRecurrenceBounded builds a RandomAccess-style kernel where the
+// load address is a xorshift recurrence of the loop-carried induction
+// value (the §3.5 non-canonical induction case). The iteration count is
+// carried in memory; the recurrence state IS the induction phi.
+func buildRecurrenceBounded(iters int64, table int64) (*ir.Program, ir.Array, ir.Array, ir.Array) {
+	b := ir.NewBuilder("randacc")
+	tArr := b.Alloc("T", table, 8)
+	cnt := b.Alloc("cnt", 1, 8)
+	out := b.Alloc("out", 1, 8)
+	zero := b.Const(0)
+	mask := b.Const(table - 1)
+	update := func(s ir.Value) ir.Value {
+		x := b.Xor(s, b.Shl(s, b.Const(13)))
+		x = b.Xor(x, b.Shr(x, b.Const(17)))
+		x = b.Xor(x, b.Shl(x, b.Const(5)))
+		return b.And(x, mask)
+	}
+	b.LoopCustom("s", b.Const(88172645463325252%table),
+		update,
+		func(next ir.Value) ir.Value {
+			c := b.LoadElem(cnt, zero)
+			c1 := b.Add(c, b.Const(1))
+			b.StoreElem(cnt, zero, c1)
+			return b.Cmp(ir.PredLT, c1, b.Const(iters))
+		},
+		nil,
+		func(s ir.Value) {
+			v := b.LoadElem(tArr, s)
+			acc := b.LoadElem(out, zero)
+			b.StoreElem(out, zero, b.Add(acc, v))
+		})
+	return b.Finish(), tArr, cnt, out
+}
+
+func initTable(tArr ir.Array) func(*mem.Arena) {
+	return func(a *mem.Arena) {
+		for i := int64(0); i < tArr.Count; i++ {
+			a.Write(tArr.Addr(i), i%13, 8)
+		}
+	}
+}
+
+func TestRecurrenceSliceDetected(t *testing.T) {
+	p, _, _, _ := buildRecurrenceBounded(64, 1<<16)
+	f := p.Func
+	forest := ir.AnalyzeLoops(f)
+	cands := Candidates(f, forest)
+	if len(cands) == 0 {
+		t.Fatal("recurrence-addressed load not detected as candidate")
+	}
+	var found bool
+	for _, c := range cands {
+		if s, ok := ExtractSlice(f, forest, c); ok && s.RecurrenceRoot {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no candidate flagged as recurrence-rooted")
+	}
+}
+
+func TestInjectInnerRecurrenceUnroll(t *testing.T) {
+	const iters, table = 20000, 1 << 18
+	base, tA, _, outA := buildRecurrenceBounded(iters, table)
+	resBase := run(t, base, initTable(tA))
+	want := resBase.Hier.Arena.Read(outA.Addr(0), 8)
+
+	p2, tB, _, outB := buildRecurrenceBounded(iters, table)
+	f := p2.Func
+	forest := ir.AnalyzeLoops(f)
+	var load ir.Value = ir.NoValue
+	for _, c := range Candidates(f, forest) {
+		if s, ok := ExtractSlice(f, forest, c); ok && s.RecurrenceRoot {
+			load = c
+		}
+	}
+	if load == ir.NoValue {
+		t.Fatal("no recurrence load")
+	}
+	s, _ := ExtractSlice(f, forest, load)
+	if _, err := InjectInner(f, forest, s, 4); err != nil {
+		t.Fatal(err)
+	}
+	f.AssignPCs()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("invalid IR after recurrence unroll: %v", err)
+	}
+	resPF := run(t, p2, initTable(tB))
+	if got := resPF.Hier.Arena.Read(outB.Addr(0), 8); got != want {
+		t.Fatalf("recurrence injection changed semantics: %d vs %d", got, want)
+	}
+	if resPF.Counters.SWPrefetches == 0 {
+		t.Fatal("no prefetches")
+	}
+	speedup := float64(resBase.Counters.Cycles) / float64(resPF.Counters.Cycles)
+	if speedup < 1.2 {
+		t.Fatalf("unrolled recurrence prefetch should help, got %.2fx", speedup)
+	}
+}
+
+func TestAinsworthJonesEndToEnd(t *testing.T) {
+	const outer, inner, table = 16, 512, 1 << 18
+	base, bA, tA, outA := buildNestedIndirect(outer, inner, table)
+	resBase := run(t, base, initNested(bA, tA, 9))
+	want := resBase.Hier.Arena.Read(outA.Addr(0), 8)
+
+	p2, bB, tB, outB := buildNestedIndirect(outer, inner, table)
+	rep, err := AinsworthJones(p2, StaticOptions{Distance: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injected != 1 || rep.Candidates != 1 {
+		t.Fatalf("report: %s", rep)
+	}
+	res := run(t, p2, initNested(bB, tB, 9))
+	if got := res.Hier.Arena.Read(outB.Addr(0), 8); got != want {
+		t.Fatalf("A&J changed semantics: %d vs %d", got, want)
+	}
+	if float64(resBase.Counters.Cycles)/float64(res.Counters.Cycles) < 1.3 {
+		t.Fatal("A&J with a good static distance should speed up the kernel")
+	}
+}
+
+func TestAptGetEndToEndPipeline(t *testing.T) {
+	const outer, inner, table = 8192, 4, 1 << 18
+	build := func() (*ir.Program, ir.Array, ir.Array, ir.Array) {
+		return buildNestedIndirect(outer, inner, table)
+	}
+
+	// Profile the baseline build.
+	pProf, bA, tA, _ := build()
+	prof, err := profile.Collect(pProf, mem.ConfigScaled(), initNested(bA, tA, 11),
+		profile.Options{SamplePeriod: 20_000, PEBSPeriod: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := analysis.Analyze(pProf, prof, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no plans from profile")
+	}
+	if plans[0].Site != analysis.SiteOuter {
+		t.Fatalf("trip-4 kernel should select outer site, got %v", plans[0].Site)
+	}
+
+	// Baseline run.
+	pBase, bB, tB, outB := build()
+	resBase := run(t, pBase, initNested(bB, tB, 11))
+	want := resBase.Hier.Arena.Read(outB.Addr(0), 8)
+
+	// Transformed run. Plans carry Values valid for an identically-built
+	// program; rebuild and map by PC.
+	pOpt, bC, tC, outC := build()
+	rep, err := AptGet(pOpt, plans, AptGetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injected == 0 {
+		t.Fatalf("nothing injected: %s", rep)
+	}
+	resOpt := run(t, pOpt, initNested(bC, tC, 11))
+	if got := resOpt.Hier.Arena.Read(outC.Addr(0), 8); got != want {
+		t.Fatalf("APT-GET changed semantics: %d vs %d", got, want)
+	}
+	speedup := float64(resBase.Counters.Cycles) / float64(resOpt.Counters.Cycles)
+	if speedup < 1.2 {
+		t.Fatalf("APT-GET should speed up the trip-4 kernel, got %.2fx", speedup)
+	}
+}
+
+func TestInjectInnerErrors(t *testing.T) {
+	p, _, _, _ := buildNestedIndirect(4, 8, 1024)
+	f := p.Func
+	forest := ir.AnalyzeLoops(f)
+	load := findIndirectLoad(t, f)
+	s, _ := ExtractSlice(f, forest, load)
+	if _, err := InjectInner(f, forest, s, 0); err == nil {
+		t.Fatal("distance 0 must error")
+	}
+	if _, err := InjectOuter(f, forest, s, 0, 1); err == nil {
+		t.Fatal("outer distance 0 must error")
+	}
+}
+
+func TestInjectOuterRequiresNestedLoop(t *testing.T) {
+	// Single loop: outer injection must fail cleanly.
+	b := ir.NewBuilder("flat")
+	bArr := b.Alloc("B", 64, 8)
+	tArr := b.Alloc("T", 1024, 8)
+	out := b.Alloc("out", 1, 8)
+	zero := b.Const(0)
+	b.Loop("i", zero, b.Const(64), 1, func(i ir.Value) {
+		idx := b.LoadElem(bArr, i)
+		b.StoreElem(out, zero, b.LoadElem(tArr, idx))
+	})
+	p := b.Finish()
+	f := p.Func
+	forest := ir.AnalyzeLoops(f)
+	load := findIndirectLoad(t, f)
+	s, _ := ExtractSlice(f, forest, load)
+	if _, err := InjectOuter(f, forest, s, 4, 2); err == nil {
+		t.Fatal("outer injection without a parent loop must error")
+	}
+}

@@ -1,0 +1,277 @@
+// Package passes implements the compiler side of the paper: load-slice
+// extraction by backward data-dependence search (Ainsworth & Jones's
+// SearchAlgorithm, extended across nested loops per §3.5), prefetch-slice
+// injection into the inner or outer loop, the static Ainsworth & Jones
+// baseline pass, and the profile-guided APT-GET pass that consumes
+// analysis plans.
+package passes
+
+import (
+	"fmt"
+
+	"aptget/internal/ir"
+)
+
+// Slice is the backward data-dependence slice of a load: every
+// instruction its address computation depends on, terminated at loop
+// induction phi nodes and constants.
+type Slice struct {
+	Load   ir.Value   // the (delinquent) load
+	Instrs []ir.Value // dependence set, unordered (cloning re-walks the graph)
+	Phis   []ir.Value // loop-header phis the address depends on, innermost loop first
+
+	// LoadsInChain counts loads in the address computation including the
+	// nested-loop init-chain extension.
+	LoadsInChain int
+	// MainLoads counts loads in the *direct* address chain only (before
+	// the §3.5 extension): ≥1 marks the classic indirect pattern A[B[i]]
+	// that hardware prefetchers cannot cover.
+	MainLoads int
+	// RecurrenceRoot is true when at least one root phi is a non-affine
+	// ALU recurrence (e.g. the xorshift state of RandomAccess or i*=2):
+	// the §3.5 non-canonical induction case.
+	RecurrenceRoot bool
+}
+
+// ExtractSlice walks the address chain of load backwards (depth-first,
+// tracking every encountered instruction) until all roots are loop phis
+// or constants. It fails (ok=false) when the chain escapes the supported
+// shape — e.g. depends on a non-loop phi.
+func ExtractSlice(f *ir.Func, forest *ir.LoopForest, load ir.Value) (*Slice, bool) {
+	ins := f.Instr(load)
+	if ins.Op != ir.OpLoad {
+		return nil, false
+	}
+	s := &Slice{Load: load}
+	seen := make(map[ir.Value]bool)
+	ok := s.walk(f, forest, ins.Args[0], seen)
+	if !ok || len(s.Phis) == 0 {
+		return nil, false
+	}
+	s.MainLoads = s.LoadsInChain
+
+	// §3.5 nested-loop extension: after the first induction variable is
+	// found, keep searching backwards through each phi's *init* chain
+	// (the value flowing in from the preheader). For kernels like BFS's
+	// CSR edge loop — e ∈ [rowptr[cur[fi]], …) — this is where the outer
+	// loop's induction variable lives, and outer-loop injection needs it
+	// in the slice. The extension is best-effort: a failure only means
+	// the outer site is unavailable, not that the slice is invalid.
+	for i := 0; i < len(s.Phis); i++ {
+		init, ok := phiInit(f, forest, s.Phis[i])
+		if !ok {
+			continue
+		}
+		tmp := &Slice{Load: load}
+		tmpSeen := make(map[ir.Value]bool, len(seen))
+		for k, v := range seen {
+			tmpSeen[k] = v
+		}
+		if !tmp.walk(f, forest, init, tmpSeen) {
+			continue
+		}
+		// Adopt the extension.
+		seen = tmpSeen
+		s.Instrs = append(s.Instrs, tmp.Instrs...)
+		s.LoadsInChain += tmp.LoadsInChain
+		s.Phis = append(s.Phis, tmp.Phis...)
+	}
+
+	sortPhisInnermostFirst(f, forest, s.Phis)
+	for _, phi := range s.Phis {
+		if !isAffine(f, forest, phi) {
+			s.RecurrenceRoot = true
+		}
+	}
+	return s, true
+}
+
+func (s *Slice) walk(f *ir.Func, forest *ir.LoopForest, v ir.Value, seen map[ir.Value]bool) bool {
+	if seen[v] {
+		return true
+	}
+	seen[v] = true
+	ins := f.Instr(v)
+	switch ins.Op {
+	case ir.OpConst:
+		return true
+	case ir.OpPhi:
+		loop := forest.ByHead[ins.Block]
+		if loop == nil {
+			return false // data-flow merge phi: unsupported shape
+		}
+		s.Phis = append(s.Phis, v)
+		return true
+	case ir.OpLoad:
+		s.Instrs = append(s.Instrs, v)
+		s.LoadsInChain++
+		return s.walk(f, forest, ins.Args[0], seen)
+	default:
+		if !(ins.Op.IsBinary() || ins.Op == ir.OpCmp || ins.Op == ir.OpSelect) {
+			return false
+		}
+		s.Instrs = append(s.Instrs, v)
+		for _, a := range ins.Args {
+			if !s.walk(f, forest, a, seen) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func sortPhisInnermostFirst(f *ir.Func, forest *ir.LoopForest, phis []ir.Value) {
+	depth := func(v ir.Value) int {
+		l := forest.ByHead[f.Instr(v).Block]
+		if l == nil {
+			return 0
+		}
+		return l.Depth
+	}
+	// Insertion sort by descending depth (innermost first).
+	for i := 1; i < len(phis); i++ {
+		for j := i; j > 0 && depth(phis[j]) > depth(phis[j-1]); j-- {
+			phis[j], phis[j-1] = phis[j-1], phis[j]
+		}
+	}
+}
+
+// phiBackEdge returns the back-edge incoming value of a header phi.
+func phiBackEdge(f *ir.Func, forest *ir.LoopForest, phi ir.Value) (ir.Value, bool) {
+	ins := f.Instr(phi)
+	loop := forest.ByHead[ins.Block]
+	if loop == nil {
+		return ir.NoValue, false
+	}
+	for i, pred := range ins.PhiPreds {
+		if loop.Blocks[pred] {
+			return ins.Args[i], true
+		}
+	}
+	return ir.NoValue, false
+}
+
+// phiInit returns the entry-edge incoming value of a header phi.
+func phiInit(f *ir.Func, forest *ir.LoopForest, phi ir.Value) (ir.Value, bool) {
+	ins := f.Instr(phi)
+	loop := forest.ByHead[ins.Block]
+	if loop == nil {
+		return ir.NoValue, false
+	}
+	for i, pred := range ins.PhiPreds {
+		if !loop.Blocks[pred] {
+			return ins.Args[i], true
+		}
+	}
+	return ir.NoValue, false
+}
+
+// affineStep returns the constant per-iteration step of a canonical
+// induction phi (back edge = phi + C), or ok=false for non-affine
+// recurrences.
+func affineStep(f *ir.Func, forest *ir.LoopForest, phi ir.Value) (int64, bool) {
+	next, ok := phiBackEdge(f, forest, phi)
+	if !ok {
+		return 0, false
+	}
+	ins := f.Instr(next)
+	if ins.Op != ir.OpAdd {
+		return 0, false
+	}
+	a, b := ins.Args[0], ins.Args[1]
+	if a == phi && f.Instr(b).Op == ir.OpConst {
+		return f.Instr(b).Imm, true
+	}
+	if b == phi && f.Instr(a).Op == ir.OpConst {
+		return f.Instr(a).Imm, true
+	}
+	return 0, false
+}
+
+func isAffine(f *ir.Func, forest *ir.LoopForest, phi ir.Value) bool {
+	_, ok := affineStep(f, forest, phi)
+	return ok
+}
+
+// loopBound recognizes the canonical bottom-test `br (next < bound)` /
+// `br (iv < bound)` of the phi's loop and returns the bound value when it
+// is defined outside the loop (so it dominates any insertion point in the
+// loop). Used for the Listing 4 clamp.
+func loopBound(f *ir.Func, forest *ir.LoopForest, phi ir.Value) (ir.Value, bool) {
+	ins := f.Instr(phi)
+	loop := forest.ByHead[ins.Block]
+	if loop == nil {
+		return ir.NoValue, false
+	}
+	next, _ := phiBackEdge(f, forest, phi)
+	for _, latch := range loop.Latches {
+		term := f.Blocks[latch].Terminator(f)
+		if term == ir.NoValue {
+			continue
+		}
+		t := f.Instr(term)
+		if t.Op != ir.OpBr {
+			continue
+		}
+		cond := f.Instr(t.Args[0])
+		if cond.Op != ir.OpCmp || (cond.Pred != ir.PredLT && cond.Pred != ir.PredLE) {
+			continue
+		}
+		lhs, rhs := cond.Args[0], cond.Args[1]
+		if lhs != next && lhs != phi {
+			continue
+		}
+		if loop.Blocks[f.Instr(rhs).Block] {
+			continue // bound computed inside the loop: not loop-invariant
+		}
+		return rhs, true
+	}
+	return ir.NoValue, false
+}
+
+// innermostLoopOf returns the innermost loop containing the instruction.
+func innermostLoopOf(f *ir.Func, forest *ir.LoopForest, v ir.Value) *ir.Loop {
+	return forest.InnermostFor(f.Instr(v).Block)
+}
+
+// phiOfLoop returns the slice phi belonging to the given loop header.
+func (s *Slice) phiOfLoop(f *ir.Func, loop *ir.Loop) (ir.Value, bool) {
+	for _, phi := range s.Phis {
+		if f.Instr(phi).Block == loop.Header {
+			return phi, true
+		}
+	}
+	return ir.NoValue, false
+}
+
+// Candidates returns every load inside a loop whose slice marks it as an
+// irregular pattern the hardware prefetchers cannot cover: an indirect
+// access (a load feeds the address) or a non-affine recurrence address.
+// This is the Ainsworth & Jones static detection scheme.
+func Candidates(f *ir.Func, forest *ir.LoopForest) []ir.Value {
+	var out []ir.Value
+	for _, b := range f.Blocks {
+		if forest.InnermostFor(b.ID) == nil {
+			continue
+		}
+		for _, v := range b.Instrs {
+			if f.Instrs[v].Op != ir.OpLoad {
+				continue
+			}
+			s, ok := ExtractSlice(f, forest, v)
+			if !ok {
+				continue
+			}
+			if s.LoadsInChain >= 1 || s.RecurrenceRoot {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// String summarizes a slice (debugging, CLI -dump).
+func (s *Slice) String() string {
+	return fmt.Sprintf("slice(load=v%d, %d instrs, %d loads, %d phis, recurrence=%v)",
+		s.Load, len(s.Instrs), s.LoadsInChain, len(s.Phis), s.RecurrenceRoot)
+}

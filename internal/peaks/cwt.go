@@ -1,0 +1,354 @@
+// Package peaks implements continuous-wavelet-transform peak detection —
+// a pure-Go counterpart of scipy.signal.find_peaks_cwt, which the paper
+// uses (§3.4) to locate the peaks of a loop's execution-time distribution.
+// Each peak corresponds to the loop latency when the delinquent load is
+// served by one level of the memory hierarchy; the gap between the lowest
+// and highest peaks separates the instruction component from the memory
+// component (Equation 1).
+//
+// The algorithm follows Du, Kibbe & Lin (Bioinformatics 2006): convolve
+// the signal with Ricker ("Mexican hat") wavelets over a range of widths,
+// link local maxima across scales into ridge lines, and keep ridges that
+// are long and loud enough.
+package peaks
+
+import "math"
+
+// Ricker returns the Ricker wavelet with the given width parameter a,
+// sampled at `points` positions centred on zero — the same construction
+// as scipy.signal.ricker.
+func Ricker(points int, a float64) []float64 {
+	out := make([]float64, points)
+	amp := 2 / (math.Sqrt(3*a) * math.Pow(math.Pi, 0.25))
+	for i := 0; i < points; i++ {
+		x := float64(i) - float64(points-1)/2
+		xsq := (x * x) / (a * a)
+		out[i] = amp * (1 - xsq) * math.Exp(-xsq/2)
+	}
+	return out
+}
+
+// convolveSame convolves signal with kernel and returns the centre
+// (len(signal)) samples — numpy.convolve(..., mode="same").
+func convolveSame(signal, kernel []float64) []float64 {
+	n, m := len(signal), len(kernel)
+	out := make([]float64, n)
+	// full convolution index f = s + k; "same" keeps f in
+	// [(m-1)/2, (m-1)/2 + n).
+	off := (m - 1) / 2
+	for i := 0; i < n; i++ {
+		f := i + off
+		var sum float64
+		kLo := f - (n - 1)
+		if kLo < 0 {
+			kLo = 0
+		}
+		kHi := f
+		if kHi > m-1 {
+			kHi = m - 1
+		}
+		for k := kLo; k <= kHi; k++ {
+			sum += kernel[k] * signal[f-k]
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// CWT computes the continuous wavelet transform matrix: one row per
+// width, each row the signal convolved with a Ricker wavelet of that
+// width.
+func CWT(signal []float64, widths []int) [][]float64 {
+	out := make([][]float64, len(widths))
+	for i, w := range widths {
+		points := 10*w + 1
+		if points > len(signal) {
+			points = len(signal)
+		}
+		if points < 3 {
+			points = 3
+		}
+		wav := Ricker(points, float64(w))
+		// scipy convolves with the reversed wavelet; Ricker is symmetric
+		// so plain convolution is identical.
+		out[i] = convolveSame(signal, wav)
+	}
+	return out
+}
+
+// relativeMaxima returns the indices i where row[i] is strictly greater
+// than every neighbour within `order` positions (scipy.signal.argrelmax
+// with clipped boundaries).
+func relativeMaxima(row []float64, order int) []int {
+	if order < 1 {
+		order = 1
+	}
+	var out []int
+	for i := range row {
+		isMax := row[i] > 0
+		for d := 1; d <= order && isMax; d++ {
+			if j := i - d; j >= 0 && row[j] >= row[i] {
+				isMax = false
+			}
+			if j := i + d; j < len(row) && row[j] >= row[i] {
+				isMax = false
+			}
+		}
+		if isMax {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ridgeLine is a chain of maxima linked across scales.
+type ridgeLine struct {
+	rows []int // width indices, descending
+	cols []int // positions
+	gap  int   // consecutive rows without a matching maximum
+}
+
+// identifyRidgeLines links maxima from the largest width down to the
+// smallest, tolerating gapThresh missed rows, with per-row matching
+// window maxDistances[row].
+func identifyRidgeLines(cwt [][]float64, maxDistances []int, gapThresh int) []ridgeLine {
+	nRows := len(cwt)
+	if nRows == 0 {
+		return nil
+	}
+	var active []*ridgeLine
+	var finished []ridgeLine
+
+	for row := nRows - 1; row >= 0; row-- {
+		order := maxDistances[row]
+		cols := relativeMaxima(cwt[row], order)
+		used := make([]bool, len(cols))
+
+		for _, line := range active {
+			line.gap++
+			prev := line.cols[len(line.cols)-1]
+			best, bestDist := -1, math.MaxInt
+			for ci, c := range cols {
+				if used[ci] {
+					continue
+				}
+				d := abs(c - prev)
+				if d <= maxDistances[row] && d < bestDist {
+					best, bestDist = ci, d
+				}
+			}
+			if best >= 0 {
+				line.rows = append(line.rows, row)
+				line.cols = append(line.cols, cols[best])
+				line.gap = 0
+				used[best] = true
+			}
+		}
+
+		// Retire lines that exceeded the gap threshold.
+		kept := active[:0]
+		for _, line := range active {
+			if line.gap > gapThresh {
+				finished = append(finished, *line)
+			} else {
+				kept = append(kept, line)
+			}
+		}
+		active = kept
+
+		// Unmatched maxima start new lines.
+		for ci, c := range cols {
+			if !used[ci] {
+				active = append(active, &ridgeLine{rows: []int{row}, cols: []int{c}})
+			}
+		}
+	}
+	for _, line := range active {
+		finished = append(finished, *line)
+	}
+	return finished
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Options tunes FindPeaksCWT. Zero values select the scipy defaults,
+// except MinRelStrength which is an extra guard this implementation adds:
+// peaks whose coarse-scale response is a tiny fraction of the strongest
+// ridge are discarded (latency histograms have a handful of comparable
+// peaks, so this only removes noise).
+type Options struct {
+	GapThresh      int     // allowed missed rows when linking (default 2)
+	MinLength      int     // minimum ridge length (default ceil(len(widths)/4), ≥3)
+	MinSNR         float64 // minimum signal-to-noise ratio (default 1.0)
+	NoisePerc      float64 // percentile of |cwt[0]| used as noise floor (default 10)
+	WindowSize     int     // noise estimation window (default len(signal)/20)
+	MinRelStrength float64 // min origin response relative to strongest ridge (default 0.02; <0 disables)
+}
+
+// FindPeaksCWT returns the indices of peaks in signal, smallest first.
+func FindPeaksCWT(signal []float64, widths []int, opt Options) []int {
+	if len(signal) == 0 || len(widths) == 0 {
+		return nil
+	}
+	if opt.GapThresh == 0 {
+		opt.GapThresh = 2
+	}
+	if opt.MinLength == 0 {
+		opt.MinLength = (len(widths) + 3) / 4
+	}
+	if opt.MinLength < 3 {
+		opt.MinLength = 3
+	}
+	if opt.MinSNR == 0 {
+		opt.MinSNR = 1.0
+	}
+	if opt.NoisePerc == 0 {
+		opt.NoisePerc = 10
+	}
+	if opt.WindowSize == 0 {
+		opt.WindowSize = len(signal) / 20
+	}
+	if opt.WindowSize < 3 {
+		opt.WindowSize = 3
+	}
+	if opt.MinRelStrength == 0 {
+		opt.MinRelStrength = 0.02
+	}
+
+	cwt := CWT(signal, widths)
+	maxDistances := make([]int, len(widths))
+	for i, w := range widths {
+		d := w / 4
+		if d < 1 {
+			d = 1
+		}
+		maxDistances[i] = d
+	}
+	lines := identifyRidgeLines(cwt, maxDistances, opt.GapThresh)
+
+	// Noise floor per position from the smallest-scale row.
+	row0 := make([]float64, len(cwt[0]))
+	for i, v := range cwt[0] {
+		row0[i] = math.Abs(v)
+	}
+
+	type candidate struct {
+		pos      int
+		strength float64
+	}
+	var cands []candidate
+	maxStrength := 0.0
+	for _, line := range lines {
+		if len(line.rows) < opt.MinLength {
+			continue
+		}
+		// Position: the column at the smallest scale on the ridge (Du et
+		// al. use the fine end for spatial accuracy; scipy reports the
+		// coarse end — for symmetric latency peaks they coincide).
+		pos := line.cols[len(line.cols)-1]
+		// Ridge strength: the response at the ridge's origin (largest
+		// linked scale). A genuine peak has a strong *positive* response
+		// there; the negative side lobes of neighbouring peaks and noise
+		// wiggles do not.
+		strength := cwt[line.rows[0]][line.cols[0]]
+		if strength <= 0 {
+			continue
+		}
+		lo := pos - opt.WindowSize
+		if lo < 0 {
+			lo = 0
+		}
+		hi := pos + opt.WindowSize
+		if hi > len(row0) {
+			hi = len(row0)
+		}
+		noise := percentile(row0[lo:hi], opt.NoisePerc)
+		if noise <= 0 {
+			noise = 1e-12
+		}
+		if strength/noise < opt.MinSNR {
+			continue
+		}
+		cands = append(cands, candidate{pos: pos, strength: strength})
+		if strength > maxStrength {
+			maxStrength = strength
+		}
+	}
+
+	var peaks []int
+	for _, c := range cands {
+		if opt.MinRelStrength > 0 && c.strength < opt.MinRelStrength*maxStrength {
+			continue
+		}
+		peaks = append(peaks, c.pos)
+	}
+
+	// Sort and merge peaks closer than the smallest width.
+	sortInts(peaks)
+	minSep := widths[0]
+	var out []int
+	for _, p := range peaks {
+		if len(out) > 0 && p-out[len(out)-1] < minSep {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// percentile returns the p-th percentile (0–100) of values (copied, not
+// mutated).
+func percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), values...)
+	sortFloats(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(cp) {
+		return cp[lo]
+	}
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}
+
+func sortFloats(a []float64) {
+	// Insertion sort: noise windows are small.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// DefaultWidths returns the width ladder 1..max used by the analysis.
+func DefaultWidths(max int) []int {
+	if max < 2 {
+		max = 2
+	}
+	out := make([]int, max)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package peaks
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// gaussians builds a signal of gaussian bumps at the given centres.
+func gaussians(n int, centres []int, sigma, amp float64, noise float64, seed int64) []float64 {
+	out := make([]float64, n)
+	for _, c := range centres {
+		for i := range out {
+			d := float64(i - c)
+			out[i] += amp * math.Exp(-d*d/(2*sigma*sigma))
+		}
+	}
+	if noise > 0 {
+		rng := rand.New(rand.NewSource(seed))
+		for i := range out {
+			out[i] += noise * rng.Float64()
+		}
+	}
+	return out
+}
+
+func matchPeaks(t *testing.T, got []int, want []int, tol int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("found %d peaks %v, want %d at %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if abs(got[i]-want[i]) > tol {
+			t.Fatalf("peak %d at %d, want %d±%d (all: %v)", i, got[i], want[i], tol, got)
+		}
+	}
+}
+
+func TestRickerShape(t *testing.T) {
+	w := Ricker(101, 4)
+	// Maximum at centre, symmetric, negative side lobes.
+	mid := 50
+	for i := range w {
+		if w[i] > w[mid] {
+			t.Fatalf("ricker max not at centre: w[%d]=%v > w[mid]=%v", i, w[i], w[mid])
+		}
+	}
+	for i := 0; i < len(w)/2; i++ {
+		if math.Abs(w[i]-w[len(w)-1-i]) > 1e-12 {
+			t.Fatalf("ricker not symmetric at %d", i)
+		}
+	}
+	if w[mid-8] >= 0 || w[mid+8] >= 0 {
+		t.Fatal("ricker should have negative side lobes")
+	}
+}
+
+func TestConvolveSameMatchesNaive(t *testing.T) {
+	sig := []float64{1, 2, 3, 4, 5}
+	ker := []float64{0.5, 1, 0.5}
+	got := convolveSame(sig, ker)
+	want := []float64{2, 4, 6, 8, 7} // manual full conv, centre 5
+	// full: [0.5, 2, 4, 6, 8, 7, 2.5]; same keeps idx 1..5: [2,4,6,8,7]
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("convolve[%d] = %v, want %v (all %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSinglePeakDetected(t *testing.T) {
+	sig := gaussians(200, []int{80}, 5, 100, 0, 1)
+	got := FindPeaksCWT(sig, DefaultWidths(12), Options{})
+	matchPeaks(t, got, []int{80}, 3)
+}
+
+func TestFourPeaksLikeFigure4(t *testing.T) {
+	// The paper's Figure 4: peaks at ~80, 230, 400, 650 cycles. Scale to
+	// bins of 2 cycles: positions 40, 115, 200, 325.
+	sig := gaussians(400, []int{40, 115, 200, 325}, 4, 100, 2, 2)
+	got := FindPeaksCWT(sig, DefaultWidths(10), Options{})
+	matchPeaks(t, got, []int{40, 115, 200, 325}, 4)
+}
+
+func TestUnequalAmplitudes(t *testing.T) {
+	sig := gaussians(300, []int{50}, 4, 1000, 0, 3)
+	for i := range sig {
+		d := float64(i - 220)
+		sig[i] += 80 * math.Exp(-d*d/(2*16))
+	}
+	got := FindPeaksCWT(sig, DefaultWidths(10), Options{})
+	matchPeaks(t, got, []int{50, 220}, 4)
+}
+
+func TestFlatSignalNoPeaks(t *testing.T) {
+	sig := make([]float64, 128)
+	if got := FindPeaksCWT(sig, DefaultWidths(8), Options{}); len(got) != 0 {
+		t.Fatalf("flat signal yielded peaks: %v", got)
+	}
+}
+
+func TestNoiseOnlyFindsFewSpuriousPeaks(t *testing.T) {
+	// Pure noise has no structure; like scipy's find_peaks_cwt, the
+	// detector will still surface some wiggles, but (a) far fewer than
+	// the raw local-maxima count and (b) with a strict relative-strength
+	// filter almost none survive. The APT-GET analysis layer additionally
+	// requires peaks to carry real probability mass.
+	rng := rand.New(rand.NewSource(9))
+	sig := make([]float64, 256)
+	for i := range sig {
+		sig[i] = rng.Float64()
+	}
+	raw := len(relativeMaxima(sig, 1))
+	def := FindPeaksCWT(sig, DefaultWidths(10), Options{MinSNR: 2})
+	if len(def) >= raw/2 {
+		t.Fatalf("CWT should prune most noise maxima: %d of %d raw", len(def), raw)
+	}
+	strict := FindPeaksCWT(sig, DefaultWidths(10), Options{MinSNR: 2, MinRelStrength: 0.5})
+	if len(strict) > 8 {
+		t.Fatalf("strict relative filter should leave almost nothing: %v", strict)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if FindPeaksCWT(nil, DefaultWidths(4), Options{}) != nil {
+		t.Fatal("nil signal should return nil")
+	}
+	if FindPeaksCWT([]float64{1, 2, 1}, nil, Options{}) != nil {
+		t.Fatal("nil widths should return nil")
+	}
+}
+
+func TestPeaksSortedAndSeparated(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		centres := []int{30 + rng.Intn(20), 120 + rng.Intn(20), 220 + rng.Intn(20)}
+		sig := gaussians(300, centres, 5, 50+rng.Float64()*50, 1, seed)
+		got := FindPeaksCWT(sig, DefaultWidths(10), Options{})
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeMaxima(t *testing.T) {
+	row := []float64{0, 1, 3, 1, 0, 2, 5, 2, 0}
+	got := relativeMaxima(row, 1)
+	if len(got) != 2 || got[0] != 2 || got[1] != 6 {
+		t.Fatalf("relativeMaxima = %v, want [2 6]", got)
+	}
+	// Larger order suppresses the smaller bump.
+	got = relativeMaxima(row, 4)
+	if len(got) != 1 || got[0] != 6 {
+		t.Fatalf("order-4 maxima = %v, want [6]", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	if got := percentile(vals, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := percentile(vals, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := percentile(vals, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	// Input must not be mutated.
+	if vals[0] != 5 {
+		t.Fatal("percentile mutated input")
+	}
+}
+
+func TestHistogramBinningAndPeaks(t *testing.T) {
+	// Loop latencies: 5000 at ~20 cycles, 1000 at ~240 cycles.
+	rng := rand.New(rand.NewSource(4))
+	var samples []float64
+	for i := 0; i < 5000; i++ {
+		samples = append(samples, 20+rng.NormFloat64()*2)
+	}
+	for i := 0; i < 1000; i++ {
+		samples = append(samples, 240+rng.NormFloat64()*4)
+	}
+	h := NewHistogram(samples, 2)
+	if h.Total() != 6000 {
+		t.Fatalf("total = %v", h.Total())
+	}
+	got := h.Peaks(0, Options{})
+	if len(got) != 2 {
+		t.Fatalf("want 2 latency peaks, got %v", got)
+	}
+	if math.Abs(got[0]-20) > 6 || math.Abs(got[1]-240) > 8 {
+		t.Fatalf("peak positions off: %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(nil, 2)
+	if h.Total() != 0 || len(h.Peaks(4, Options{})) != 0 {
+		t.Fatal("empty histogram should have no peaks")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || s.Min != 1 || s.Max != 10 || s.Mean != 5.5 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if s.P50 < 5 || s.P50 > 6 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram([]float64{1, 1, 1, 5, 5}, 1)
+	if s := h.String(); len(s) == 0 {
+		t.Fatal("histogram sketch empty")
+	}
+}

@@ -1,0 +1,146 @@
+package peaks
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram bins scalar observations (loop latencies in cycles).
+type Histogram struct {
+	BinWidth float64
+	Min      float64
+	Counts   []float64
+}
+
+// NewHistogram bins the samples with the given bin width. The range is
+// derived from the data.
+func NewHistogram(samples []float64, binWidth float64) *Histogram {
+	if len(samples) == 0 || binWidth <= 0 {
+		return &Histogram{BinWidth: binWidth}
+	}
+	lo, hi := samples[0], samples[0]
+	for _, s := range samples {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	n := int((hi-lo)/binWidth) + 1
+	h := &Histogram{BinWidth: binWidth, Min: lo, Counts: make([]float64, n)}
+	for _, s := range samples {
+		h.Counts[int((s-lo)/binWidth)]++
+	}
+	return h
+}
+
+// BinCenter returns the value at the centre of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Min + (float64(i)+0.5)*h.BinWidth
+}
+
+// Total returns the number of binned observations.
+func (h *Histogram) Total() float64 {
+	var t float64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Peaks runs CWT peak detection over the histogram and returns the peak
+// positions in sample units (e.g. cycles), ascending.
+func (h *Histogram) Peaks(maxWidth int, opt Options) []float64 {
+	if len(h.Counts) == 0 {
+		return nil
+	}
+	if len(h.Counts) < 5 {
+		// Too narrow for wavelet analysis (e.g. a constant-latency loop
+		// lands in one bin): report the modal bins directly. Bins below
+		// 5% of the mode are noise.
+		max := 0.0
+		for _, c := range h.Counts {
+			if c > max {
+				max = c
+			}
+		}
+		var out []float64
+		for i, c := range h.Counts {
+			if c >= 0.05*max && c > 0 {
+				out = append(out, h.BinCenter(i))
+			}
+		}
+		return out
+	}
+	if maxWidth <= 0 {
+		maxWidth = len(h.Counts) / 8
+	}
+	if maxWidth < 2 {
+		maxWidth = 2
+	}
+	idx := FindPeaksCWT(h.Counts, DefaultWidths(maxWidth), opt)
+	out := make([]float64, len(idx))
+	for i, p := range idx {
+		out[i] = h.BinCenter(p)
+	}
+	return out
+}
+
+// String renders a compact ASCII sketch (used by the fig4 experiment and
+// the CLI).
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	max := 0.0
+	for _, c := range h.Counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return "(empty histogram)\n"
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		bar := int(math.Round(c / max * 50))
+		fmt.Fprintf(&sb, "%8.0f | %-50s %.0f\n", h.BinCenter(i), strings.Repeat("#", bar), c)
+	}
+	return sb.String()
+}
+
+// Summary holds basic order statistics of a sample set.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P90, P99  float64
+}
+
+// Summarize computes summary statistics.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	cp := append([]float64(nil), samples...)
+	sort.Float64s(cp)
+	var sum float64
+	for _, v := range cp {
+		sum += v
+	}
+	q := func(p float64) float64 {
+		i := int(p * float64(len(cp)-1))
+		return cp[i]
+	}
+	return Summary{
+		N:    len(cp),
+		Mean: sum / float64(len(cp)),
+		Min:  cp[0],
+		Max:  cp[len(cp)-1],
+		P50:  q(0.5),
+		P90:  q(0.9),
+		P99:  q(0.99),
+	}
+}

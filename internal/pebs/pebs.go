@@ -1,0 +1,75 @@
+// Package pebs models precise event-based sampling of last-level-cache
+// misses: the mechanism APT-GET uses (via perf record, §3.4) to identify
+// delinquent loads — the load PCs responsible for most LLC misses.
+package pebs
+
+import "sort"
+
+// Sampler counts every period-th LLC-miss load, attributing it to the
+// load's PC. Period 1 records every miss (exact attribution); the paper's
+// setup samples sparsely, which the default period models.
+type Sampler struct {
+	Period uint64
+
+	seen  uint64
+	byPC  map[uint64]uint64
+	total uint64
+}
+
+// NewSampler returns a sampler with the given period (≥1).
+func NewSampler(period uint64) *Sampler {
+	if period == 0 {
+		period = 1
+	}
+	return &Sampler{Period: period, byPC: make(map[uint64]uint64)}
+}
+
+// ObserveMiss is called by the core for every retired demand load served
+// by DRAM (an LLC miss).
+func (s *Sampler) ObserveMiss(pc uint64) {
+	s.seen++
+	if s.seen%s.Period != 0 {
+		return
+	}
+	s.byPC[pc]++
+	s.total++
+}
+
+// Samples returns the number of recorded samples.
+func (s *Sampler) Samples() uint64 { return s.total }
+
+// Load is a delinquent-load candidate.
+type Load struct {
+	PC      uint64
+	Samples uint64
+	Share   float64 // fraction of all samples
+}
+
+// Delinquent returns the load PCs whose sample share is at least
+// minShare, ordered most-delinquent first. This is the input to the
+// APT-GET analysis (§3.2 step 1).
+func (s *Sampler) Delinquent(minShare float64) []Load {
+	if s.total == 0 {
+		return nil
+	}
+	var out []Load
+	for pc, n := range s.byPC {
+		share := float64(n) / float64(s.total)
+		if share >= minShare {
+			out = append(out, Load{PC: pc, Samples: n, Share: share})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Samples != out[j].Samples {
+			return out[i].Samples > out[j].Samples
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// Reset clears all recorded samples.
+func (s *Sampler) Reset() {
+	s.seen, s.total = 0, 0
+	s.byPC = make(map[uint64]uint64)
+}

@@ -1,0 +1,70 @@
+package pebs
+
+import "testing"
+
+func TestDelinquentRanking(t *testing.T) {
+	s := NewSampler(1)
+	for i := 0; i < 70; i++ {
+		s.ObserveMiss(100)
+	}
+	for i := 0; i < 25; i++ {
+		s.ObserveMiss(200)
+	}
+	for i := 0; i < 5; i++ {
+		s.ObserveMiss(300)
+	}
+	del := s.Delinquent(0.1)
+	if len(del) != 2 {
+		t.Fatalf("want 2 loads above 10%%, got %d", len(del))
+	}
+	if del[0].PC != 100 || del[1].PC != 200 {
+		t.Fatalf("wrong ranking: %+v", del)
+	}
+	if del[0].Share < 0.69 || del[0].Share > 0.71 {
+		t.Fatalf("share wrong: %v", del[0].Share)
+	}
+}
+
+func TestPeriodSubsamples(t *testing.T) {
+	s := NewSampler(10)
+	for i := 0; i < 100; i++ {
+		s.ObserveMiss(42)
+	}
+	if s.Samples() != 10 {
+		t.Fatalf("period 10 over 100 misses should record 10, got %d", s.Samples())
+	}
+}
+
+func TestEmptySampler(t *testing.T) {
+	s := NewSampler(1)
+	if got := s.Delinquent(0.0); got != nil {
+		t.Fatalf("empty sampler should return nil, got %v", got)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	s := NewSampler(1)
+	s.ObserveMiss(7)
+	s.Reset()
+	if s.Samples() != 0 || len(s.Delinquent(0)) != 0 {
+		t.Fatal("reset should clear samples")
+	}
+}
+
+func TestZeroPeriodDefaultsToOne(t *testing.T) {
+	s := NewSampler(0)
+	s.ObserveMiss(1)
+	if s.Samples() != 1 {
+		t.Fatal("period 0 should behave as 1")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	s := NewSampler(1)
+	s.ObserveMiss(9)
+	s.ObserveMiss(3)
+	del := s.Delinquent(0)
+	if del[0].PC != 3 || del[1].PC != 9 {
+		t.Fatalf("ties must break by PC: %+v", del)
+	}
+}

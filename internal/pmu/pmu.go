@@ -1,0 +1,117 @@
+// Package pmu aggregates performance-monitoring counters from the core
+// and the memory system into the derived metrics the paper reports with
+// perf stat: IPC, prefetch accuracy, late-prefetch ratio (Table 1), MPKI
+// (Figure 7), memory-bound stall fractions (Figure 5) and instruction
+// overhead (Figure 11).
+package pmu
+
+import (
+	"fmt"
+	"strings"
+
+	"aptget/internal/mem"
+)
+
+// Counters is a full counter snapshot for one program run.
+type Counters struct {
+	Cycles       uint64
+	Instructions uint64 // retired, excluding phi pseudo-ops
+
+	Loads         uint64
+	Stores        uint64
+	SWPrefetches  uint64
+	Branches      uint64
+	TakenBranches uint64
+
+	Mem mem.Stats
+}
+
+// IPC returns instructions per cycle.
+func (c *Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// DemandMisses returns the paper's miss count: demand reads that left the
+// core (offcore) plus demand loads that hit an in-flight prefetch in the
+// fill buffer, which the paper explicitly counts as misses (§4.4).
+func (c *Counters) DemandMisses() uint64 {
+	return c.Mem.OffcoreDemand + c.Mem.FBHitAny
+}
+
+// MPKI returns demand misses per kilo-instruction.
+func (c *Counters) MPKI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.DemandMisses()) / float64(c.Instructions) * 1000
+}
+
+// PrefetchAccuracy returns the §2.3 offcore-derived accuracy metric.
+func (c *Counters) PrefetchAccuracy() float64 { return c.Mem.PrefetchAccuracy() }
+
+// LatePrefetchRatio returns the fraction of issued software prefetches
+// whose fill was still in flight when the demand load arrived
+// (LOAD_HIT_PRE.SW_PF / prefetches issued).
+func (c *Counters) LatePrefetchRatio() float64 {
+	if c.Mem.SWPrefetchIssued == 0 {
+		return 0
+	}
+	return float64(c.Mem.FBHitSWPrefetch) / float64(c.Mem.SWPrefetchIssued)
+}
+
+// StallFraction returns the fraction of all cycles spent stalled on
+// accesses served by the given level.
+func (c *Counters) StallFraction(l mem.Level) float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Mem.StallCycles[l]) / float64(c.Cycles)
+}
+
+// MemBoundFraction returns the Figure 5 metric: the fraction of cycles
+// stalled on LLC- or DRAM-served demand accesses (fill-buffer waits are
+// DRAM time too).
+func (c *Counters) MemBoundFraction() float64 {
+	return c.StallFraction(mem.LevelLLC) + c.StallFraction(mem.LevelDRAM) +
+		c.StallFraction(mem.LevelFB)
+}
+
+// Speedup returns baseline.Cycles / c.Cycles.
+func (c *Counters) Speedup(baseline *Counters) float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(baseline.Cycles) / float64(c.Cycles)
+}
+
+// InstructionOverhead returns c.Instructions / baseline.Instructions
+// (Figure 11).
+func (c *Counters) InstructionOverhead(baseline *Counters) float64 {
+	if baseline.Instructions == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(baseline.Instructions)
+}
+
+// String renders a perf-stat-style report.
+func (c *Counters) String() string {
+	var sb strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&sb, format, args...) }
+	w("%14d cycles\n", c.Cycles)
+	w("%14d instructions              # %6.2f IPC\n", c.Instructions, c.IPC())
+	w("%14d loads\n", c.Loads)
+	w("%14d stores\n", c.Stores)
+	w("%14d sw-prefetches\n", c.SWPrefetches)
+	w("%14d branches                  # %d taken\n", c.Branches, c.TakenBranches)
+	w("%14d offcore_requests.all_data_rd\n", c.Mem.OffcoreAll())
+	w("%14d offcore_requests.demand_data_rd\n", c.Mem.OffcoreDemand)
+	w("%14d load_hit_pre.sw_pf        # %5.1f%% late prefetch ratio\n",
+		c.Mem.FBHitSWPrefetch, 100*c.LatePrefetchRatio())
+	w("%14.2f MPKI\n", c.MPKI())
+	w("%14.1f%% prefetch accuracy\n", 100*c.PrefetchAccuracy())
+	w("%14.1f%% cycles memory bound (LLC+DRAM)\n", 100*c.MemBoundFraction())
+	return sb.String()
+}

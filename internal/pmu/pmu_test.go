@@ -1,0 +1,80 @@
+package pmu
+
+import (
+	"strings"
+	"testing"
+
+	"aptget/internal/mem"
+)
+
+func sample() *Counters {
+	c := &Counters{
+		Cycles:       1000,
+		Instructions: 500,
+		Loads:        100,
+		Stores:       20,
+		SWPrefetches: 40,
+	}
+	c.Mem.OffcoreDemand = 10
+	c.Mem.OffcoreSWPrefetch = 30
+	c.Mem.FBHitAny = 5
+	c.Mem.FBHitSWPrefetch = 4
+	c.Mem.SWPrefetchIssued = 40
+	c.Mem.StallCycles[mem.LevelDRAM] = 400
+	c.Mem.StallCycles[mem.LevelLLC] = 100
+	return c
+}
+
+func TestDerivedMetrics(t *testing.T) {
+	c := sample()
+	if got := c.IPC(); got != 0.5 {
+		t.Fatalf("IPC = %v", got)
+	}
+	if got := c.DemandMisses(); got != 15 {
+		t.Fatalf("DemandMisses = %d, want 15", got)
+	}
+	if got := c.MPKI(); got != 30 {
+		t.Fatalf("MPKI = %v, want 30", got)
+	}
+	if got := c.LatePrefetchRatio(); got != 0.1 {
+		t.Fatalf("late ratio = %v, want 0.1", got)
+	}
+	if got := c.PrefetchAccuracy(); got != 0.75 {
+		t.Fatalf("accuracy = %v, want 0.75", got)
+	}
+	if got := c.MemBoundFraction(); got != 0.5 {
+		t.Fatalf("membound = %v, want 0.5", got)
+	}
+}
+
+func TestSpeedupAndOverhead(t *testing.T) {
+	base := &Counters{Cycles: 2000, Instructions: 400}
+	c := sample()
+	if got := c.Speedup(base); got != 2 {
+		t.Fatalf("speedup = %v, want 2", got)
+	}
+	if got := c.InstructionOverhead(base); got != 1.25 {
+		t.Fatalf("overhead = %v, want 1.25", got)
+	}
+}
+
+func TestZeroDivisionSafety(t *testing.T) {
+	var c Counters
+	if c.IPC() != 0 || c.MPKI() != 0 || c.LatePrefetchRatio() != 0 ||
+		c.PrefetchAccuracy() != 0 || c.MemBoundFraction() != 0 ||
+		c.Speedup(&Counters{}) != 0 || c.InstructionOverhead(&Counters{}) != 0 {
+		t.Fatal("zero counters must not divide by zero")
+	}
+}
+
+func TestStringReport(t *testing.T) {
+	s := sample().String()
+	for _, want := range []string{
+		"cycles", "IPC", "offcore_requests.all_data_rd",
+		"load_hit_pre.sw_pf", "MPKI", "prefetch accuracy", "memory bound",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}

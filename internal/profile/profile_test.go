@@ -1,0 +1,103 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+
+	"aptget/internal/ir"
+	"aptget/internal/mem"
+)
+
+// buildIndirect returns a single-loop indirect kernel out += T[B[i]].
+func buildIndirect(n, table int64) (*ir.Program, ir.Array, ir.Array) {
+	b := ir.NewBuilder("prof")
+	bArr := b.Alloc("B", n, 8)
+	tArr := b.Alloc("T", table, 8)
+	out := b.Alloc("out", 1, 8)
+	zero := b.Const(0)
+	b.Loop("i", zero, b.Const(n), 1, func(i ir.Value) {
+		idx := b.LoadElem(bArr, i)
+		v := b.LoadElem(tArr, idx)
+		acc := b.LoadElem(out, zero)
+		b.StoreElem(out, zero, b.Add(acc, v))
+	})
+	return b.Finish(), bArr, tArr
+}
+
+func initMem(bArr, tArr ir.Array) func(*mem.Arena) {
+	return func(a *mem.Arena) {
+		rng := rand.New(rand.NewSource(3))
+		for i := int64(0); i < bArr.Count; i++ {
+			a.Write(bArr.Addr(i), rng.Int63n(tArr.Count), 8)
+		}
+	}
+}
+
+func TestCollectGathersSamplesAndLoads(t *testing.T) {
+	p, bArr, tArr := buildIndirect(16384, 1<<17)
+	prof, err := Collect(p, mem.ConfigScaled(), initMem(bArr, tArr), Options{
+		SamplePeriod: 20_000,
+		PEBSPeriod:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Samples) < 10 {
+		t.Fatalf("too few LBR samples: %d", len(prof.Samples))
+	}
+	if len(prof.Loads) == 0 {
+		t.Fatal("no delinquent loads")
+	}
+	// The top load must dominate the miss profile (only T[B[i]] misses).
+	if prof.Loads[0].Share < 0.5 {
+		t.Fatalf("top load share %.2f, want > 0.5", prof.Loads[0].Share)
+	}
+	if prof.Counters.Cycles == 0 {
+		t.Fatal("counters missing")
+	}
+}
+
+func TestCollectDefaultsApplied(t *testing.T) {
+	var o Options
+	o.fill()
+	if o.SamplePeriod == 0 || o.PEBSPeriod == 0 || o.DelinquentShare == 0 {
+		t.Fatalf("defaults not filled: %+v", o)
+	}
+}
+
+func TestCollectHonoursDelinquentShare(t *testing.T) {
+	p, bArr, tArr := buildIndirect(16384, 1<<17)
+	strict, err := Collect(p, mem.ConfigScaled(), initMem(bArr, tArr), Options{
+		SamplePeriod:    20_000,
+		PEBSPeriod:      11,
+		DelinquentShare: 0.99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, bArr2, tArr2 := buildIndirect(16384, 1<<17)
+	loose, err := Collect(p2, mem.ConfigScaled(), initMem(bArr2, tArr2), Options{
+		SamplePeriod:    20_000,
+		PEBSPeriod:      11,
+		DelinquentShare: 0.001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict.Loads) > len(loose.Loads) {
+		t.Fatalf("stricter share produced more loads: %d vs %d",
+			len(strict.Loads), len(loose.Loads))
+	}
+}
+
+func TestCollectPropagatesBuildErrors(t *testing.T) {
+	// An invalid program must surface an error, not a panic.
+	f := ir.NewFunc("bad")
+	bb := f.NewBlock("entry")
+	f.Entry = bb.ID
+	f.AddInstr(bb, ir.Instr{Op: ir.OpConst, Imm: 1}) // unterminated
+	p := ir.NewProgram(f)
+	if _, err := Collect(p, mem.ConfigScaled(), nil, Options{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

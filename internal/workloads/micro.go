@@ -1,0 +1,132 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"aptget/internal/ir"
+	"aptget/internal/mem"
+)
+
+// Complexity selects the §2.1 microbenchmark's work function.
+type Complexity int
+
+// Work-function complexities (Figure 1's low/medium/high).
+const (
+	ComplexityLow    Complexity = 0
+	ComplexityMedium Complexity = 12
+	ComplexityHigh   Complexity = 56
+)
+
+func (c Complexity) String() string {
+	switch c {
+	case ComplexityLow:
+		return "low"
+	case ComplexityMedium:
+		return "medium"
+	case ComplexityHigh:
+		return "high"
+	}
+	return "custom"
+}
+
+// Micro is the paper's Listing 1 microbenchmark: a two-nested loop with
+// an indirect access T[B[i]] followed by a work function of configurable
+// complexity. INNER is the inner trip count, Complexity the chain length
+// of the dependent ALU work.
+type Micro struct {
+	Outer, Inner int64
+	TableSize    int64
+	Work         Complexity
+	Seed         int64
+
+	bArr, tArr, out ir.Array
+}
+
+// NewMicro returns the microbenchmark with the given inner trip count and
+// work complexity, sized so T far exceeds the LLC.
+func NewMicro(inner int64, work Complexity) *Micro {
+	total := int64(32768) // total inner iterations across the run
+	outer := total / inner
+	if outer < 1 {
+		outer = 1
+	}
+	return &Micro{
+		Outer: outer, Inner: inner,
+		TableSize: 1 << 18, // 2 MiB of int64 ≫ 512 KiB LLC
+		Work:      work,
+		Seed:      7,
+	}
+}
+
+// Name implements core.Workload.
+func (m *Micro) Name() string {
+	return "micro"
+}
+
+// Build implements core.Workload.
+func (m *Micro) Build() (*ir.Program, error) {
+	b := ir.NewBuilder(m.Name())
+	m.bArr = b.Alloc("B", m.Outer*m.Inner, 8)
+	m.tArr = b.Alloc("T", m.TableSize, 8)
+	m.out = b.Alloc("out", 1, 8)
+	zero := b.Const(0)
+	b.Loop("i", zero, b.Const(m.Outer), 1, func(i ir.Value) {
+		base := b.Mul(i, b.Const(m.Inner))
+		b.Loop("j", zero, b.Const(m.Inner), 1, func(j ir.Value) {
+			idx := b.LoadElem(m.bArr, b.Add(base, j))
+			v := b.Named(b.LoadElem(m.tArr, idx), "T[B[i]]")
+			acc := work(b, v, int(m.Work))
+			old := b.LoadElem(m.out, zero)
+			b.StoreElem(m.out, zero, b.Add(old, acc))
+		})
+	})
+	return b.Finish(), nil
+}
+
+// work emits the dependent ALU chain of the work function; the native
+// mirror is workNative.
+func work(b *ir.Builder, v ir.Value, n int) ir.Value {
+	acc := v
+	for k := 0; k < n; k++ {
+		acc = b.Xor(b.Add(acc, b.Const(int64(k)+1)), v)
+	}
+	return acc
+}
+
+func workNative(v int64, n int) int64 {
+	acc := v
+	for k := 0; k < n; k++ {
+		acc = (acc + int64(k) + 1) ^ v
+	}
+	return acc
+}
+
+func (m *Micro) data() []int64 {
+	rng := rand.New(rand.NewSource(m.Seed))
+	bs := make([]int64, m.Outer*m.Inner)
+	for i := range bs {
+		bs[i] = rng.Int63n(m.TableSize)
+	}
+	return bs
+}
+
+func (m *Micro) tableValue(i int64) int64 { return i * 7 % 1009 }
+
+// InitMem implements core.Workload.
+func (m *Micro) InitMem(a *mem.Arena) {
+	for i, v := range m.data() {
+		a.Write(m.bArr.Addr(int64(i)), v, 8)
+	}
+	for i := int64(0); i < m.TableSize; i++ {
+		a.Write(m.tArr.Addr(i), m.tableValue(i), 8)
+	}
+}
+
+// Verify implements core.Workload.
+func (m *Micro) Verify(a *mem.Arena) error {
+	var want int64
+	for _, idx := range m.data() {
+		want += workNative(m.tableValue(idx), int(m.Work))
+	}
+	return expectScalar(a, m.out, 0, want, "micro: out")
+}

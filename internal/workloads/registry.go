@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"fmt"
+
+	"aptget/internal/core"
+	"aptget/internal/graphgen"
+)
+
+// Entry describes one benchmark of the paper's Table 3.
+type Entry struct {
+	Key         string // figure x-axis key
+	Description string // Table 3 description
+	Dataset     string // dataset label (graph workloads)
+	New         func() core.Workload
+}
+
+// Registry returns the paper's application list (Table 3): the five
+// CRONO graph kernels, NAS IS and CG, HPCC RandomAccess, the two hash
+// join variants, and Graph500. Dataset sizes follow graphgen's scaled
+// Table 4 stand-ins; the heavier kernels (SSSP, BC) run on smaller
+// instances of the same graph classes to keep full experiment sweeps
+// fast (DESIGN.md §2).
+func Registry() []Entry {
+	return []Entry{
+		{
+			Key: "BFS", Description: "breadth-first search (CRONO)", Dataset: "WG",
+			New: func() core.Workload {
+				g := mustDataset("WG")
+				return NewBFS("BFS", g, TopDegreeVertices(g, 1)[0])
+			},
+		},
+		{
+			Key: "DFS", Description: "depth-first traversal (CRONO)", Dataset: "P2P",
+			New: func() core.Workload {
+				g := mustDataset("P2P")
+				return NewDFS("DFS", g, TopDegreeVertices(g, 1)[0])
+			},
+		},
+		{
+			Key: "PR", Description: "PageRank (CRONO)", Dataset: "WN",
+			New: func() core.Workload {
+				return NewPageRank("PR", mustDataset("WN"), 2)
+			},
+		},
+		{
+			Key: "BC", Description: "betweenness centrality (CRONO)", Dataset: "LBE",
+			New: func() core.Workload {
+				g := mustDataset("LBE")
+				return NewBC("BC", g, TopDegreeVertices(g, 1))
+			},
+		},
+		{
+			Key: "SSSP", Description: "single-source shortest paths (CRONO)", Dataset: "P2P-s",
+			New: func() core.Workload {
+				g := graphgen.Uniform("P2P-s", 32_000, 2, 1102)
+				return NewSSSP("SSSP", g, TopDegreeVertices(g, 1)[0])
+			},
+		},
+		{
+			Key: "IS", Description: "integer (bucket) sort (NAS)", Dataset: "",
+			New: func() core.Workload {
+				return NewIS(200_000, 1<<17, 2)
+			},
+		},
+		{
+			Key: "CG", Description: "conjugate gradient / SpMV (NAS)", Dataset: "",
+			New: func() core.Workload {
+				return NewCG(48_000, 8, 2)
+			},
+		},
+		{
+			Key: "randAcc", Description: "RandomAccess / GUPS (HPCC)", Dataset: "",
+			New: func() core.Workload {
+				return NewRandAcc(20, 300_000)
+			},
+		},
+		{
+			Key: "HJ2", Description: "NPO hash join, 2 elems/bucket", Dataset: "",
+			New: func() core.Workload {
+				return NewHashJoin("HJ2", 1<<18, 2, 200_000, 300_000)
+			},
+		},
+		{
+			Key: "HJ8", Description: "NPO hash join, 8 elems/bucket", Dataset: "",
+			New: func() core.Workload {
+				return NewHashJoin("HJ8", 1<<16, 8, 200_000, 150_000)
+			},
+		},
+		{
+			Key: "G500", Description: "Graph500 BFS (Kronecker)", Dataset: "KRON",
+			New: func() core.Workload {
+				g := mustDataset("KRON")
+				return NewBFS("G500", g, TopDegreeVertices(g, 1)[0])
+			},
+		},
+	}
+}
+
+// ByKey returns the registry entry with the given key.
+func ByKey(key string) (Entry, bool) {
+	for _, e := range Registry() {
+		if e.Key == key {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// TopDegreeVertices returns the k vertices with the highest out-degree —
+// well-connected BFS/BC sources on power-law graphs.
+func TopDegreeVertices(g *graphgen.Graph, k int) []int64 {
+	out := make([]int64, 0, k)
+	used := make(map[int64]bool, k)
+	for len(out) < k {
+		best, bestDeg := int64(-1), int64(-1)
+		for u := int64(0); u < g.N; u++ {
+			if !used[u] && g.Degree(u) > bestDeg {
+				best, bestDeg = u, g.Degree(u)
+			}
+		}
+		used[best] = true
+		out = append(out, best)
+	}
+	return out
+}
+
+func mustDataset(name string) *graphgen.Graph {
+	d, ok := graphgen.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("workloads: unknown dataset %s", name))
+	}
+	return d.Make()
+}

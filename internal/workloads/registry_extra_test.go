@@ -1,0 +1,52 @@
+package workloads
+
+import (
+	"testing"
+
+	"aptget/internal/graphgen"
+)
+
+func TestTopDegreeVertices(t *testing.T) {
+	g := graphgen.PowerLaw("t", 2000, 5, 9)
+	top := TopDegreeVertices(g, 3)
+	if len(top) != 3 {
+		t.Fatalf("want 3 vertices, got %d", len(top))
+	}
+	if g.Degree(top[0]) < g.Degree(top[1]) || g.Degree(top[1]) < g.Degree(top[2]) {
+		t.Fatal("vertices must be ordered by descending degree")
+	}
+	seen := map[int64]bool{}
+	for _, u := range top {
+		if seen[u] {
+			t.Fatal("duplicate vertex")
+		}
+		seen[u] = true
+	}
+	// The top vertex must dominate the average degree on a power law.
+	if float64(g.Degree(top[0])) < 2*g.AvgDegree() {
+		t.Fatalf("top degree %d should far exceed avg %.1f", g.Degree(top[0]), g.AvgDegree())
+	}
+}
+
+func TestRegistryDescriptionsComplete(t *testing.T) {
+	for _, e := range Registry() {
+		if e.Description == "" {
+			t.Fatalf("%s missing description", e.Key)
+		}
+		if e.New == nil {
+			t.Fatalf("%s missing constructor", e.Key)
+		}
+	}
+}
+
+func TestWorkloadNamesMatchKeys(t *testing.T) {
+	if testing.Short() {
+		t.Skip("constructors build graphs; slow in -short mode")
+	}
+	for _, e := range Registry() {
+		w := e.New()
+		if w.Name() != e.Key {
+			t.Fatalf("workload name %q != registry key %q", w.Name(), e.Key)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package workloads
+
+import (
+	"testing"
+
+	"aptget/internal/core"
+	"aptget/internal/graphgen"
+)
+
+// TestRegistryBaselinesVerify executes every Table 3 application
+// unmodified and checks its result against the native reference.
+func TestRegistryBaselinesVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry is slow in -short mode")
+	}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.Key, func(t *testing.T) {
+			w := e.New()
+			res, err := core.RunBaseline(w, core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Counters.Instructions == 0 {
+				t.Fatal("no instructions retired")
+			}
+			t.Logf("%s: %d instr, %d cycles, IPC %.2f, MPKI %.1f, membound %.0f%%",
+				e.Key, res.Counters.Instructions, res.Counters.Cycles,
+				res.Counters.IPC(), res.Counters.MPKI(),
+				100*res.Counters.MemBoundFraction())
+		})
+	}
+}
+
+// TestRegistryAptGetPreservesSemantics runs the full APT-GET pipeline on
+// every Table 3 application — the Verify step of the pipeline fails if
+// injection changes any result.
+func TestRegistryAptGetPreservesSemantics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline runs are slow in -short mode")
+	}
+	for _, key := range []string{
+		"BFS", "DFS", "PR", "BC", "SSSP", "IS", "CG", "randAcc", "HJ2", "HJ8", "G500",
+	} {
+		key := key
+		t.Run(key, func(t *testing.T) {
+			e, ok := ByKey(key)
+			if !ok {
+				t.Fatalf("missing registry entry %s", key)
+			}
+			w := e.New()
+			cmp, err := core.Compare(w, core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: static %.2fx, apt-get %.2fx (plans %d, injected %d)",
+				key, cmp.StaticSpeedup(), cmp.AptGetSpeedup(),
+				len(cmp.AptGet.Plans), cmp.AptGet.Report.Injected)
+			if cmp.AptGetSpeedup() < 0.95 {
+				t.Fatalf("APT-GET slowed %s down: %.2fx", key, cmp.AptGetSpeedup())
+			}
+		})
+	}
+}
+
+func TestMicroComplexities(t *testing.T) {
+	for _, c := range []Complexity{ComplexityLow, ComplexityMedium, ComplexityHigh} {
+		w := NewMicro(256, c)
+		res, err := core.RunBaseline(w, core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("complexity %v: %v", c, err)
+		}
+		if res.Counters.Instructions == 0 {
+			t.Fatal("empty run")
+		}
+	}
+	if ComplexityLow.String() != "low" || ComplexityMedium.String() != "medium" ||
+		ComplexityHigh.String() != "high" || Complexity(3).String() != "custom" {
+		t.Fatal("complexity names wrong")
+	}
+}
+
+func TestMicroWorkScalesCycles(t *testing.T) {
+	low := NewMicro(256, ComplexityLow)
+	high := NewMicro(256, ComplexityHigh)
+	cfg := core.DefaultConfig()
+	rl, err := core.RunBaseline(low, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rh, err := core.RunBaseline(high, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Counters.Cycles <= rl.Counters.Cycles {
+		t.Fatal("higher work complexity must cost more cycles")
+	}
+}
+
+func TestBFSSmallGraphExact(t *testing.T) {
+	g := graphgen.Uniform("t", 500, 3, 11)
+	w := NewBFS("bfs-t", g, 0)
+	if _, err := core.RunBaseline(w, core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDFSSmallGraphExact(t *testing.T) {
+	g := graphgen.Uniform("t", 400, 3, 12)
+	w := NewDFS("dfs-t", g, 0)
+	if _, err := core.RunBaseline(w, core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRankSmallGraphExact(t *testing.T) {
+	g := graphgen.PowerLaw("t", 600, 4, 13)
+	w := NewPageRank("pr-t", g, 3)
+	if _, err := core.RunBaseline(w, core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBCSmallGraphExact(t *testing.T) {
+	g := graphgen.PowerLaw("t", 400, 4, 14)
+	w := NewBC("bc-t", g, []int64{3, 9})
+	if _, err := core.RunBaseline(w, core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSSPSmallGraphExact(t *testing.T) {
+	g := graphgen.Grid("t", 12, 12, 15)
+	w := NewSSSP("sssp-t", g, 0)
+	if _, err := core.RunBaseline(w, core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestISSmallExact(t *testing.T) {
+	w := NewIS(2000, 512, 2)
+	if _, err := core.RunBaseline(w, core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCGSmallExact(t *testing.T) {
+	w := NewCG(800, 6, 3)
+	if _, err := core.RunBaseline(w, core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandAccSmallExact(t *testing.T) {
+	w := NewRandAcc(12, 3000)
+	if _, err := core.RunBaseline(w, core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashJoinSmallExact(t *testing.T) {
+	for _, b := range []int64{2, 8} {
+		w := NewHashJoin("hj-t", 1<<8, b, 500, 800)
+		if _, err := core.RunBaseline(w, core.DefaultConfig()); err != nil {
+			t.Fatalf("bucket size %d: %v", b, err)
+		}
+		if w.wantMatches == 0 {
+			t.Fatal("test join should produce matches")
+		}
+	}
+}
+
+func TestHashJoinInjectedSmall(t *testing.T) {
+	// HJ with injection on a small instance: semantics preserved even
+	// when the hash table fits in cache.
+	w := NewHashJoin("hj-t2", 1<<10, 2, 2000, 3000)
+	if _, err := core.RunStatic(w, core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSDisconnectedVertices(t *testing.T) {
+	// A graph with unreachable vertices: dist stays -1 and verification
+	// still passes.
+	g := graphgen.Uniform("t", 300, 1, 16)
+	w := NewBFS("bfs-d", g, 5)
+	if _, err := core.RunBaseline(w, core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	reached := 0
+	for _, d := range w.wantDist {
+		if d >= 0 {
+			reached++
+		}
+	}
+	if reached == len(w.wantDist) {
+		t.Skip("graph unexpectedly connected; nothing to assert")
+	}
+}
+
+func TestRegistryKeysUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if seen[e.Key] {
+			t.Fatalf("duplicate key %s", e.Key)
+		}
+		seen[e.Key] = true
+	}
+	if len(seen) != 11 {
+		t.Fatalf("want 11 applications, got %d", len(seen))
+	}
+	if _, ok := ByKey("BFS"); !ok {
+		t.Fatal("ByKey broken")
+	}
+	if _, ok := ByKey("NOPE"); ok {
+		t.Fatal("ByKey should miss unknown keys")
+	}
+}
