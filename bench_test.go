@@ -15,6 +15,7 @@ package aptget
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
@@ -145,7 +146,7 @@ func BenchmarkSubstrateCWT(b *testing.B) {
 	for _, c := range []int{40, 115, 200, 325} {
 		for i := range sig {
 			d := float64(i - c)
-			sig[i] += 100 * fastExp(-d*d/32)
+			sig[i] += 100 * math.Exp(-d*d/32)
 		}
 	}
 	for i := range sig {
@@ -158,20 +159,4 @@ func BenchmarkSubstrateCWT(b *testing.B) {
 			b.Fatal("no peaks")
 		}
 	}
-}
-
-func fastExp(x float64) float64 {
-	// Cheap exp approximation adequate for bench-signal synthesis.
-	if x < -20 {
-		return 0
-	}
-	sum, term := 1.0, 1.0
-	for k := 1; k < 12; k++ {
-		term *= x / float64(k)
-		sum += term
-	}
-	if sum < 0 {
-		return 0
-	}
-	return sum
 }

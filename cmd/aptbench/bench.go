@@ -1,0 +1,143 @@
+package main
+
+// The -bench mode: a perf-regression harness for the evaluation substrate
+// itself. It times every experiment (wall clock, parallel runner enabled)
+// plus two substrate microbenchmarks — IR interpretation and memory-
+// hierarchy access throughput — and writes the result as JSON so future
+// changes have a perf trajectory to compare against:
+//
+//	aptbench -bench -quick            # representative subset, ~a minute
+//	aptbench -bench                   # full sweep, several minutes
+//	aptbench -bench -benchout my.json # alternate output path
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"aptget/internal/cpu"
+	"aptget/internal/experiments"
+	"aptget/internal/ir"
+	"aptget/internal/mem"
+	"aptget/internal/runner"
+)
+
+// ExperimentTiming is one experiment's wall-clock time.
+type ExperimentTiming struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+// SubstrateMetrics are the simulator's raw throughput numbers.
+type SubstrateMetrics struct {
+	// InterpInstrsPerSec is IR instructions interpreted per second on an
+	// ALU-heavy loop (no memory stalls).
+	InterpInstrsPerSec float64 `json:"interp_instrs_per_sec"`
+	// HierAccessesPerSec is demand accesses absorbed per second by the
+	// memory-hierarchy model on a pseudo-random address stream.
+	HierAccessesPerSec float64 `json:"hier_accesses_per_sec"`
+}
+
+// BenchReport is the schema of BENCH_substrate.json.
+type BenchReport struct {
+	GeneratedAt  string             `json:"generated_at"`
+	GoVersion    string             `json:"go_version"`
+	GoMaxProcs   int                `json:"gomaxprocs"`
+	Workers      int                `json:"workers"`
+	Quick        bool               `json:"quick"`
+	TotalSeconds float64            `json:"total_seconds"`
+	Experiments  []ExperimentTiming `json:"experiments"`
+	Substrate    SubstrateMetrics   `json:"substrate"`
+}
+
+// runBench times every experiment and the substrate microbenchmarks and
+// writes the report to outPath.
+func runBench(quick bool, outPath string) error {
+	all := experiments.All()
+	opt := experiments.Options{Quick: quick}
+	report := BenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Workers:     runner.Workers(1 << 30),
+		Quick:       quick,
+	}
+
+	total := time.Now()
+	for _, id := range experiments.Names() {
+		start := time.Now()
+		if _, err := all[id](opt); err != nil {
+			return fmt.Errorf("bench %s: %w", id, err)
+		}
+		secs := time.Since(start).Seconds()
+		report.Experiments = append(report.Experiments, ExperimentTiming{ID: id, Seconds: secs})
+		fmt.Printf("bench %-10s %8.2fs\n", id, secs)
+	}
+
+	report.Substrate.InterpInstrsPerSec = benchInterpreter()
+	fmt.Printf("bench %-10s %8.2gM instrs/s\n", "interp", report.Substrate.InterpInstrsPerSec/1e6)
+	report.Substrate.HierAccessesPerSec = benchHierarchy()
+	fmt.Printf("bench %-10s %8.2gM accesses/s\n", "hierarchy", report.Substrate.HierAccessesPerSec/1e6)
+	report.TotalSeconds = time.Since(total).Seconds()
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: wrote %s (total %.1fs)\n", outPath, report.TotalSeconds)
+	return nil
+}
+
+// minBenchTime is how long each substrate microbenchmark must accumulate
+// before its rate is trusted.
+const minBenchTime = 500 * time.Millisecond
+
+// benchInterpreter measures IR interpretation throughput (instructions
+// per second) on an ALU-heavy loop with no memory stalls.
+func benchInterpreter() float64 {
+	bld := ir.NewBuilder("bench-interp")
+	out := bld.Alloc("out", 1, 8)
+	zero := bld.Const(0)
+	bld.Loop("i", zero, bld.Const(200_000), 1, func(i ir.Value) {
+		v := bld.Mul(bld.Add(i, bld.Const(3)), bld.Const(5))
+		bld.StoreElem(out, zero, bld.Xor(v, i))
+	})
+	p := bld.Finish()
+	cfg := mem.ConfigScaled()
+
+	var instrs uint64
+	start := time.Now()
+	for time.Since(start) < minBenchTime {
+		res, err := cpu.Run(p, cfg, cpu.Options{})
+		if err != nil {
+			panic(fmt.Sprintf("bench interpreter: %v", err))
+		}
+		instrs += res.Counters.Instructions
+	}
+	return float64(instrs) / time.Since(start).Seconds()
+}
+
+// benchHierarchy measures memory-hierarchy throughput (accesses per
+// second) on a pseudo-random demand-load stream.
+func benchHierarchy() float64 {
+	h := mem.New(mem.ConfigScaled(), 1<<24)
+	const batch = 1 << 20
+	x := uint64(1)
+	var accesses uint64
+	var cycle uint64
+	start := time.Now()
+	for time.Since(start) < minBenchTime {
+		for i := 0; i < batch; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			h.Access(cycle, 1, int64(x%(1<<23)), mem.KindLoad)
+			cycle += 4
+		}
+		accesses += batch
+	}
+	return float64(accesses) / time.Since(start).Seconds()
+}

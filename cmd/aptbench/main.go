@@ -5,6 +5,10 @@
 //	aptbench -exp fig6          # one experiment (see -list)
 //	aptbench -exp all           # everything (several minutes)
 //	aptbench -exp fig8 -quick   # representative app subset
+//	aptbench -bench             # perf-regression run -> BENCH_substrate.json
+//
+// Experiments fan out over a GOMAXPROCS-sized worker pool; -workers pins
+// the pool width (1 = serial). Output is identical at any width.
 package main
 
 import (
@@ -15,13 +19,27 @@ import (
 	"time"
 
 	"aptget/internal/experiments"
+	"aptget/internal/runner"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (or 'all')")
 	quick := flag.Bool("quick", false, "restrict sweeps to a representative app subset")
 	list := flag.Bool("list", false, "list experiment ids")
+	workers := flag.Int("workers", 0, "worker pool width (0 = GOMAXPROCS, 1 = serial)")
+	bench := flag.Bool("bench", false, "time every experiment + substrate microbenchmarks, write -benchout")
+	benchout := flag.String("benchout", "BENCH_substrate.json", "perf report path for -bench")
 	flag.Parse()
+
+	runner.SetMaxWorkers(*workers)
+
+	if *bench {
+		if err := runBench(*quick, *benchout); err != nil {
+			fmt.Fprintf(os.Stderr, "aptbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	all := experiments.All()
 	if *list || *exp == "" {

@@ -18,6 +18,7 @@ import (
 	"aptget/internal/passes"
 	"aptget/internal/pmu"
 	"aptget/internal/profile"
+	"aptget/internal/runner"
 )
 
 // Workload is an application under optimization. Build must be
@@ -195,6 +196,33 @@ func Compare(w Workload, cfg Config) (*Comparison, error) {
 		return nil, err
 	}
 	return &Comparison{Workload: w.Name(), Base: base, Static: static, AptGet: apt}, nil
+}
+
+// CompareFrom runs the three Compare variants concurrently. Build mutates
+// workload state (array handles, scratch), so each variant gets its own
+// instance from newW; Build is deterministic, making the instances
+// interchangeable and the result identical to Compare on one of them.
+func CompareFrom(newW func() Workload, cfg Config) (*Comparison, error) {
+	variants := []func(Workload, Config) (*Result, error){
+		RunBaseline, RunStatic, RunAptGet,
+	}
+	var name string
+	results, err := runner.Map(len(variants), func(i int) (*Result, error) {
+		w := newW()
+		if i == 0 {
+			name = w.Name()
+		}
+		return variants[i](w, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		Workload: name,
+		Base:     results[0],
+		Static:   results[1],
+		AptGet:   results[2],
+	}, nil
 }
 
 // GeoMean computes the geometric mean of a slice of ratios — the paper's

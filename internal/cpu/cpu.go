@@ -82,6 +82,27 @@ func Run(p *ir.Program, cfg mem.Config, opts Options) (*Result, error) {
 	regs := make([]int64, len(f.Instrs))
 	ctr := &res.Counters
 
+	// Hot-loop locals: the instruction table and the retired-instruction
+	// count live in locals (flushed to the counters on return), and the
+	// per-instruction sampling check is hoisted to a single bool.
+	fIns := f.Instrs
+	sampling := opts.SamplePeriod > 0
+	var icount uint64
+
+	// Pre-resolve the first two operands of every instruction into flat
+	// arrays: the dispatch loop indexes regs directly instead of chasing
+	// each instruction's Args slice header. (OpSelect's third operand and
+	// phi inputs stay on the slice — they're off the hot path.)
+	arg0 := make([]ir.Value, len(fIns))
+	arg1 := make([]ir.Value, len(fIns))
+	for i := range fIns {
+		if a := fIns[i].Args; len(a) > 1 {
+			arg0[i], arg1[i] = a[0], a[1]
+		} else if len(a) == 1 {
+			arg0[i] = a[0]
+		}
+	}
+
 	var cycle uint64
 	nextSample := opts.SamplePeriod
 
@@ -89,7 +110,7 @@ func Run(p *ir.Program, cfg mem.Config, opts Options) (*Result, error) {
 	firstPC := make([]uint64, len(f.Blocks))
 	for _, b := range f.Blocks {
 		if len(b.Instrs) > 0 {
-			firstPC[b.ID] = f.Instrs[b.Instrs[0]].PC
+			firstPC[b.ID] = fIns[b.Instrs[0]].PC
 		}
 	}
 
@@ -105,7 +126,7 @@ func Run(p *ir.Program, cfg mem.Config, opts Options) (*Result, error) {
 		// Phase 1: phi resolution on block entry.
 		nPhi := 0
 		for _, v := range instrs {
-			if f.Instrs[v].Op != ir.OpPhi {
+			if fIns[v].Op != ir.OpPhi {
 				break
 			}
 			nPhi++
@@ -113,7 +134,7 @@ func Run(p *ir.Program, cfg mem.Config, opts Options) (*Result, error) {
 		if nPhi > 0 {
 			phiVals = phiVals[:0]
 			for i := 0; i < nPhi; i++ {
-				ins := &f.Instrs[instrs[i]]
+				ins := &fIns[instrs[i]]
 				found := false
 				for j, pb := range ins.PhiPreds {
 					if pb == prev {
@@ -136,70 +157,70 @@ func Run(p *ir.Program, cfg mem.Config, opts Options) (*Result, error) {
 
 		for idx := nPhi; idx < len(instrs); idx++ {
 			v := instrs[idx]
-			ins := &f.Instrs[v]
+			ins := &fIns[v]
 			switch ins.Op {
 			case ir.OpConst:
 				regs[v] = ins.Imm
 				cycle++
 
 			case ir.OpAdd:
-				regs[v] = regs[ins.Args[0]] + regs[ins.Args[1]]
+				regs[v] = regs[arg0[v]] + regs[arg1[v]]
 				cycle++
 			case ir.OpSub:
-				regs[v] = regs[ins.Args[0]] - regs[ins.Args[1]]
+				regs[v] = regs[arg0[v]] - regs[arg1[v]]
 				cycle++
 			case ir.OpMul:
-				regs[v] = regs[ins.Args[0]] * regs[ins.Args[1]]
+				regs[v] = regs[arg0[v]] * regs[arg1[v]]
 				cycle += 3
 			case ir.OpDiv:
-				d := regs[ins.Args[1]]
+				d := regs[arg1[v]]
 				if d == 0 {
 					regs[v] = 0
 				} else {
-					regs[v] = regs[ins.Args[0]] / d
+					regs[v] = regs[arg0[v]] / d
 				}
 				cycle += 20
 			case ir.OpRem:
-				d := regs[ins.Args[1]]
+				d := regs[arg1[v]]
 				if d == 0 {
 					regs[v] = 0
 				} else {
-					regs[v] = regs[ins.Args[0]] % d
+					regs[v] = regs[arg0[v]] % d
 				}
 				cycle += 20
 			case ir.OpAnd:
-				regs[v] = regs[ins.Args[0]] & regs[ins.Args[1]]
+				regs[v] = regs[arg0[v]] & regs[arg1[v]]
 				cycle++
 			case ir.OpOr:
-				regs[v] = regs[ins.Args[0]] | regs[ins.Args[1]]
+				regs[v] = regs[arg0[v]] | regs[arg1[v]]
 				cycle++
 			case ir.OpXor:
-				regs[v] = regs[ins.Args[0]] ^ regs[ins.Args[1]]
+				regs[v] = regs[arg0[v]] ^ regs[arg1[v]]
 				cycle++
 			case ir.OpShl:
-				regs[v] = regs[ins.Args[0]] << uint64(regs[ins.Args[1]]&63)
+				regs[v] = regs[arg0[v]] << uint64(regs[arg1[v]]&63)
 				cycle++
 			case ir.OpShr:
-				regs[v] = regs[ins.Args[0]] >> uint64(regs[ins.Args[1]]&63)
+				regs[v] = regs[arg0[v]] >> uint64(regs[arg1[v]]&63)
 				cycle++
 
 			case ir.OpCmp:
-				if ins.Pred.Eval(regs[ins.Args[0]], regs[ins.Args[1]]) {
+				if ins.Pred.Eval(regs[arg0[v]], regs[arg1[v]]) {
 					regs[v] = 1
 				} else {
 					regs[v] = 0
 				}
 				cycle++
 			case ir.OpSelect:
-				if regs[ins.Args[0]] != 0 {
-					regs[v] = regs[ins.Args[1]]
+				if regs[arg0[v]] != 0 {
+					regs[v] = regs[arg1[v]]
 				} else {
 					regs[v] = regs[ins.Args[2]]
 				}
 				cycle++
 
 			case ir.OpLoad:
-				addr := regs[ins.Args[0]]
+				addr := regs[arg0[v]]
 				r := h.Access(cycle, ins.PC, addr, mem.KindLoad)
 				cycle += r.Latency
 				regs[v] = h.Arena.Read(addr, ins.Size)
@@ -209,14 +230,14 @@ func Run(p *ir.Program, cfg mem.Config, opts Options) (*Result, error) {
 				}
 
 			case ir.OpStore:
-				addr := regs[ins.Args[0]]
+				addr := regs[arg0[v]]
 				r := h.Access(cycle, ins.PC, addr, mem.KindStore)
 				cycle += r.Latency
-				h.Arena.Write(addr, regs[ins.Args[1]], ins.Size)
+				h.Arena.Write(addr, regs[arg1[v]], ins.Size)
 				ctr.Stores++
 
 			case ir.OpPrefetch:
-				addr := regs[ins.Args[0]]
+				addr := regs[arg0[v]]
 				if addr >= 0 && addr < h.Arena.Size() {
 					r := h.Access(cycle, ins.PC, addr, mem.KindSWPrefetch)
 					cycle += r.Latency
@@ -230,7 +251,7 @@ func Run(p *ir.Program, cfg mem.Config, opts Options) (*Result, error) {
 			case ir.OpBr:
 				ctr.Branches++
 				cycle++
-				if regs[ins.Args[0]] != 0 {
+				if regs[arg0[v]] != 0 {
 					nextBlock = cur.Succs[0]
 					ctr.TakenBranches++
 					ring.Push(ins.PC, firstPC[nextBlock], cycle)
@@ -247,7 +268,7 @@ func Run(p *ir.Program, cfg mem.Config, opts Options) (*Result, error) {
 
 			case ir.OpRet:
 				cycle++
-				ctr.Instructions++
+				ctr.Instructions = icount + 1
 				ctr.Cycles = cycle
 				ctr.Mem = h.Stats
 				return res, nil
@@ -257,12 +278,12 @@ func Run(p *ir.Program, cfg mem.Config, opts Options) (*Result, error) {
 					f.Name, ins.Op, ins.PC)
 			}
 
-			ctr.Instructions++
-			if ctr.Instructions > maxInstr {
+			icount++
+			if icount > maxInstr {
 				return nil, fmt.Errorf("%w: %s after %d instructions",
 					ErrInstructionLimit, f.Name, maxInstr)
 			}
-			if opts.SamplePeriod > 0 && cycle >= nextSample {
+			if sampling && cycle >= nextSample {
 				res.LBRSamples = append(res.LBRSamples, lbr.Sample{
 					Cycle:   cycle,
 					Entries: ring.Snapshot(),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"aptget/internal/core"
+	"aptget/internal/runner"
 	"aptget/internal/workloads"
 )
 
@@ -39,7 +40,9 @@ func ablationVariants() []struct {
 	}
 }
 
-// Ablation runs the variants over a diverse app subset.
+// Ablation runs the variants over a diverse app subset. The per-app
+// baselines and the variant×app grid are both flattened into independent
+// jobs on the runner pool and reduced in variant-major order.
 func Ablation(o Options) (*AblationResult, error) {
 	keys := []string{"BFS", "HJ2", "HJ8", "CG", "randAcc"}
 	if o.Quick {
@@ -47,36 +50,46 @@ func Ablation(o Options) (*AblationResult, error) {
 	}
 	res := &AblationResult{Apps: keys}
 
-	type baseRun struct {
-		w    core.Workload
-		base *core.Result
-	}
-	var bases []baseRun
-	cfg0 := o.config()
-	for _, k := range keys {
+	entries := make([]workloads.Entry, len(keys))
+	for i, k := range keys {
 		e, ok := workloads.ByKey(k)
 		if !ok {
 			return nil, fmt.Errorf("ablation: unknown app %s", k)
 		}
-		w := e.New()
-		base, err := core.RunBaseline(w, cfg0)
+		entries[i] = e
+	}
+	cfg0 := o.config()
+	bases, err := runner.Map(len(entries), func(i int) (*core.Result, error) {
+		base, err := core.RunBaseline(entries[i].New(), cfg0)
 		if err != nil {
-			return nil, fmt.Errorf("ablation %s: %w", k, err)
+			return nil, fmt.Errorf("ablation %s: %w", keys[i], err)
 		}
-		bases = append(bases, baseRun{w: w, base: base})
+		return base, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	for _, v := range ablationVariants() {
+	variants := ablationVariants()
+	runs, err := runner.Map(len(variants)*len(entries), func(j int) (*core.Result, error) {
+		v, e := variants[j/len(entries)], entries[j%len(entries)]
 		cfg := o.config()
 		v.mut(&cfg)
+		r, err := core.RunAptGet(e.New(), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s/%s: %w", v.name, e.Key, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
 		var sps, ovs []float64
-		for i, b := range bases {
-			r, err := core.RunAptGet(b.w, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("ablation %s/%s: %w", v.name, keys[i], err)
-			}
-			sps = append(sps, r.Speedup(b.base))
-			ovs = append(ovs, r.Counters.InstructionOverhead(&b.base.Counters))
+		for ai := range entries {
+			r, base := runs[vi*len(entries)+ai], bases[ai]
+			sps = append(sps, r.Speedup(base))
+			ovs = append(ovs, r.Counters.InstructionOverhead(&base.Counters))
 		}
 		res.Rows = append(res.Rows, AblationRow{
 			Variant:       v.name,
@@ -117,40 +130,43 @@ type LBRWidthResult struct {
 	Rows []LBRWidthRow
 }
 
-// LBRWidth runs the sensitivity study on BFS.
+// LBRWidth runs the sensitivity study on BFS: the baseline plus one job
+// per ring depth, each profiling and re-running its own BFS instance.
 func LBRWidth(o Options) (*LBRWidthResult, error) {
 	cfg := o.config()
 	e, _ := workloads.ByKey("BFS")
-	w := e.New()
-	base, err := core.RunBaseline(w, cfg)
+	base, err := core.RunBaseline(e.New(), cfg)
 	if err != nil {
 		return nil, err
 	}
-	res := &LBRWidthResult{App: e.Key}
 	widths := []int{4, 8, 16, 32, 64}
 	if o.Quick {
 		widths = []int{8, 32}
 	}
-	for _, width := range widths {
+	rows, err := runner.Map(len(widths), func(i int) (LBRWidthRow, error) {
+		width := widths[i]
 		c := cfg
 		c.Profile.LBRWidth = width
-		_, plans, err := core.ProfileAndPlan(w, c)
+		_, plans, err := core.ProfileAndPlan(e.New(), c)
 		if err != nil {
-			return nil, fmt.Errorf("lbrwidth %d: %w", width, err)
+			return LBRWidthRow{}, fmt.Errorf("lbrwidth %d: %w", width, err)
 		}
 		row := LBRWidthRow{Width: width}
 		if len(plans) > 0 {
 			row.AvgTrip = plans[0].AvgTrip
 			row.Distance = plans[0].Distance
 		}
-		r, err := core.RunWithPlans(w, plans, c)
+		r, err := core.RunWithPlans(e.New(), plans, c)
 		if err != nil {
-			return nil, fmt.Errorf("lbrwidth %d run: %w", width, err)
+			return LBRWidthRow{}, fmt.Errorf("lbrwidth %d run: %w", width, err)
 		}
 		row.Speedup = r.Speedup(base)
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &LBRWidthResult{App: e.Key, Rows: rows}, nil
 }
 
 // String renders the study as a table.

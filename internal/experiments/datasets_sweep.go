@@ -5,6 +5,7 @@ import (
 
 	"aptget/internal/core"
 	"aptget/internal/graphgen"
+	"aptget/internal/runner"
 	"aptget/internal/workloads"
 )
 
@@ -68,22 +69,28 @@ func fig6xCells(o Options) []struct {
 	return cells
 }
 
-// Fig6x runs the dataset sweep.
+// Fig6x runs the dataset sweep: one job per app×dataset cell.
 func Fig6x(o Options) (*Fig6xResult, error) {
 	cfg := o.config()
-	res := &Fig6xResult{}
-	var ss, as []float64
-	for _, c := range fig6xCells(o) {
-		cmp, err := core.Compare(c.mk(), cfg)
+	cells := fig6xCells(o)
+	rows, err := runner.Map(len(cells), func(i int) (Fig6xRow, error) {
+		c := cells[i]
+		cmp, err := core.CompareFrom(c.mk, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fig6x %s/%s: %w", c.app, c.ds, err)
+			return Fig6xRow{}, fmt.Errorf("fig6x %s/%s: %w", c.app, c.ds, err)
 		}
-		row := Fig6xRow{
+		return Fig6xRow{
 			App: c.app, Dataset: c.ds,
 			StaticSpeedup: cmp.StaticSpeedup(),
 			AptGetSpeedup: cmp.AptGetSpeedup(),
-		}
-		res.Rows = append(res.Rows, row)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6xResult{Rows: rows}
+	var ss, as []float64
+	for _, row := range rows {
 		ss = append(ss, row.StaticSpeedup)
 		as = append(as, row.AptGetSpeedup)
 	}

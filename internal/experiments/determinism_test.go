@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+
+	"aptget/internal/runner"
+)
+
+// TestSerialParallelByteIdentical asserts the core guarantee of the
+// parallel run engine: experiment output is byte-identical at any worker
+// pool width. fig1 exercises the micro distance sweeps (nested
+// series/distance fan-out); fig9 exercises the per-app jobs with the
+// baseline+profile pair and forced-distance runs inside each.
+func TestSerialParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double (serial + parallel) experiment run is slow in -short mode")
+	}
+	for _, id := range []string{"fig1", "fig9"} {
+		t.Run(id, func(t *testing.T) {
+			run := func(width int) string {
+				prev := runner.SetMaxWorkers(width)
+				defer runner.SetMaxWorkers(prev)
+				res, err := All()[id](Options{Quick: true})
+				if err != nil {
+					t.Fatalf("width %d: %v", width, err)
+				}
+				return res.String()
+			}
+			serial, parallel := run(1), run(4)
+			if serial != parallel {
+				t.Fatalf("output differs between serial and parallel runs:\n"+
+					"--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"aptget/internal/graphgen"
 	"aptget/internal/workloads"
@@ -21,8 +22,19 @@ func wrap[T fmt.Stringer](f func(Options) (T, error)) Runner {
 	}
 }
 
-// All maps experiment IDs (DESIGN.md §4) to runners.
+var (
+	allOnce    sync.Once
+	allRunners map[string]Runner
+)
+
+// All maps experiment IDs (DESIGN.md §4) to runners. The map is built
+// once and shared: callers must not mutate it.
 func All() map[string]Runner {
+	allOnce.Do(func() { allRunners = buildAll() })
+	return allRunners
+}
+
+func buildAll() map[string]Runner {
 	return map[string]Runner{
 		"table1":   wrap(Table1),
 		"fig1":     wrap(Fig1),

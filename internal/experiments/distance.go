@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"aptget/internal/core"
+	"aptget/internal/runner"
 )
 
 // Fig8Row compares the LBR-derived distance against an exhaustive static
@@ -27,41 +28,55 @@ type Fig8Result struct {
 // fig8Distances is the paper's sweep set D = {1,2,4,8,16,32,64,128}.
 var fig8Distances = []int64{1, 2, 4, 8, 16, 32, 64, 128}
 
-// Fig8 runs the experiment.
+// Fig8 runs the experiment: one job per app, and within each app one job
+// per sweep distance (plus the LBR-distance run). The best distance is
+// reduced in sweep order, so ties break exactly as the serial loop did.
 func Fig8(o Options) (*Fig8Result, error) {
 	cfg := o.config()
-	res := &Fig8Result{}
-	var bests, apts []float64
-	for _, e := range apps(o) {
-		w := e.New()
-		base, err := core.RunBaseline(w, cfg)
+	entries := apps(o)
+	rows, err := runner.Map(len(entries), func(i int) (Fig8Row, error) {
+		e := entries[i]
+		base, plans, err := baseAndPlans(e.New, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fig8 %s: %w", e.Key, err)
-		}
-		_, plans, err := core.ProfileAndPlan(w, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig8 %s: %w", e.Key, err)
+			return Fig8Row{}, fmt.Errorf("fig8 %s: %w", e.Key, err)
 		}
 		row := Fig8Row{Key: e.Key}
 		if len(plans) > 0 {
 			row.LBRDistance = plans[0].Distance
 		}
-		for _, d := range fig8Distances {
-			r, err := core.RunWithPlans(w, forceDistance(plans, d), cfg)
+		runs, err := runner.Map(len(fig8Distances)+1, func(j int) (*core.Result, error) {
+			if j == len(fig8Distances) {
+				r, err := core.RunWithPlans(e.New(), plans, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("fig8 %s apt: %w", e.Key, err)
+				}
+				return r, nil
+			}
+			d := fig8Distances[j]
+			r, err := core.RunWithPlans(e.New(), forceDistance(plans, d), cfg)
 			if err != nil {
 				return nil, fmt.Errorf("fig8 %s dist %d: %w", e.Key, d, err)
 			}
-			if sp := r.Speedup(base); sp > row.BestSpeedup {
+			return r, nil
+		})
+		if err != nil {
+			return Fig8Row{}, err
+		}
+		for j, d := range fig8Distances {
+			if sp := runs[j].Speedup(base); sp > row.BestSpeedup {
 				row.BestSpeedup = sp
 				row.BestDistance = d
 			}
 		}
-		apt, err := core.RunWithPlans(w, plans, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig8 %s apt: %w", e.Key, err)
-		}
-		row.AptGetSpeedup = apt.Speedup(base)
-		res.Rows = append(res.Rows, row)
+		row.AptGetSpeedup = runs[len(fig8Distances)].Speedup(base)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{Rows: rows}
+	var bests, apts []float64
+	for _, row := range rows {
 		bests = append(bests, row.BestSpeedup)
 		apts = append(apts, row.AptGetSpeedup)
 	}
@@ -105,44 +120,42 @@ type Fig9Result struct {
 	Geo4, Geo16, Geo64, GeoLBR float64
 }
 
-// Fig9 runs the experiment.
+// Fig9 runs the experiment: one job per app; the three fixed distances
+// and the LBR-distance run fan out within each.
 func Fig9(o Options) (*Fig9Result, error) {
 	cfg := o.config()
-	res := &Fig9Result{}
-	var g4, g16, g64, gl []float64
-	for _, e := range apps(o) {
-		w := e.New()
-		base, err := core.RunBaseline(w, cfg)
+	fixed := []int64{4, 16, 64}
+	entries := apps(o)
+	rows, err := runner.Map(len(entries), func(i int) (Fig9Row, error) {
+		e := entries[i]
+		base, plans, err := baseAndPlans(e.New, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fig9 %s: %w", e.Key, err)
+			return Fig9Row{}, fmt.Errorf("fig9 %s: %w", e.Key, err)
 		}
-		_, plans, err := core.ProfileAndPlan(w, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig9 %s: %w", e.Key, err)
-		}
-		row := Fig9Row{Key: e.Key}
-		speedupAt := func(d int64) (float64, error) {
-			r, err := core.RunWithPlans(w, forceDistance(plans, d), cfg)
+		sps, err := runner.Map(len(fixed)+1, func(j int) (float64, error) {
+			p := plans
+			if j < len(fixed) {
+				p = forceDistance(plans, fixed[j])
+			}
+			r, err := core.RunWithPlans(e.New(), p, cfg)
 			if err != nil {
-				return 0, err
+				return 0, fmt.Errorf("fig9 %s: %w", e.Key, err)
 			}
 			return r.Speedup(base), nil
-		}
-		if row.Dist4, err = speedupAt(4); err != nil {
-			return nil, err
-		}
-		if row.Dist16, err = speedupAt(16); err != nil {
-			return nil, err
-		}
-		if row.Dist64, err = speedupAt(64); err != nil {
-			return nil, err
-		}
-		apt, err := core.RunWithPlans(w, plans, cfg)
+		})
 		if err != nil {
-			return nil, err
+			return Fig9Row{}, err
 		}
-		row.LBR = apt.Speedup(base)
-		res.Rows = append(res.Rows, row)
+		return Fig9Row{
+			Key: e.Key, Dist4: sps[0], Dist16: sps[1], Dist64: sps[2], LBR: sps[3],
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{Rows: rows}
+	var g4, g16, g64, gl []float64
+	for _, row := range rows {
 		g4 = append(g4, row.Dist4)
 		g16 = append(g16, row.Dist16)
 		g64 = append(g64, row.Dist64)

@@ -14,6 +14,7 @@ import (
 	"aptget/internal/analysis"
 	"aptget/internal/core"
 	"aptget/internal/mem"
+	"aptget/internal/runner"
 	"aptget/internal/workloads"
 )
 
@@ -90,23 +91,50 @@ func comparisonCacheKey(o Options) string {
 }
 
 // FullComparisons runs (or returns cached) baseline/static/apt-get runs
-// for every application.
+// for every application. The apps are independent jobs fanned out over
+// the runner pool; results come back in registry order.
 func FullComparisons(o Options) ([]AppComparison, error) {
 	key := comparisonCacheKey(o)
 	if v, ok := cmpCache.Load(key); ok {
 		return v.([]AppComparison), nil
 	}
 	cfg := o.config()
-	var out []AppComparison
-	for _, e := range apps(o) {
-		cmp, err := core.Compare(e.New(), cfg)
+	entries := apps(o)
+	out, err := runner.Map(len(entries), func(i int) (AppComparison, error) {
+		e := entries[i]
+		cmp, err := core.CompareFrom(e.New, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", e.Key, err)
+			return AppComparison{}, fmt.Errorf("experiments: %s: %w", e.Key, err)
 		}
-		out = append(out, AppComparison{Key: e.Key, Cmp: cmp})
+		return AppComparison{Key: e.Key, Cmp: cmp}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	cmpCache.Store(key, out)
 	return out, nil
+}
+
+// baseAndPlans runs the no-prefetching baseline and the profile/analysis
+// pipeline concurrently, each on its own workload instance (Build mutates
+// workload state, so concurrent variants must not share one).
+func baseAndPlans(newW func() core.Workload, cfg core.Config) (*core.Result, []analysis.Plan, error) {
+	var base *core.Result
+	var plans []analysis.Plan
+	err := runner.Run(2, func(i int) error {
+		if i == 0 {
+			r, err := core.RunBaseline(newW(), cfg)
+			base = r
+			return err
+		}
+		_, p, err := core.ProfileAndPlan(newW(), cfg)
+		plans = p
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return base, plans, nil
 }
 
 // forceDistance returns a copy of the plans with every distance pinned

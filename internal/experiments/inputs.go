@@ -3,8 +3,10 @@ package experiments
 import (
 	"fmt"
 
+	"aptget/internal/analysis"
 	"aptget/internal/core"
 	"aptget/internal/graphgen"
+	"aptget/internal/runner"
 	"aptget/internal/workloads"
 )
 
@@ -73,45 +75,67 @@ func fig12Pairs(o Options) []fig12Pair {
 	return pairs
 }
 
-// Fig12 runs the experiment.
+// Fig12 runs the experiment: one job per pair. Within a pair the two
+// profiling runs and the baseline are independent (each on its own
+// workload instance), then the same-input and cross-input evaluations fan
+// out once the plans exist.
 func Fig12(o Options) (*Fig12Result, error) {
 	cfg := o.config()
-	res := &Fig12Result{}
+	pairs := fig12Pairs(o)
+	rows, err := runner.Map(len(pairs), func(i int) (Fig12Row, error) {
+		p := pairs[i]
+		var trainPlans, testPlans []analysis.Plan
+		var base *core.Result
+		err := runner.Run(3, func(j int) error {
+			switch j {
+			case 0:
+				_, plans, err := core.ProfileAndPlan(p.train(), cfg)
+				if err != nil {
+					return fmt.Errorf("fig12 %s train profile: %w", p.key, err)
+				}
+				trainPlans = plans
+			case 1:
+				_, plans, err := core.ProfileAndPlan(p.test(), cfg)
+				if err != nil {
+					return fmt.Errorf("fig12 %s test profile: %w", p.key, err)
+				}
+				testPlans = plans
+			case 2:
+				r, err := core.RunBaseline(p.test(), cfg)
+				if err != nil {
+					return err
+				}
+				base = r
+			}
+			return nil
+		})
+		if err != nil {
+			return Fig12Row{}, err
+		}
+		// "TRAIN-DATA": profile and evaluation on the same (test) input;
+		// "TEST-DATA": plans from the train input applied to the test input.
+		sps, err := runner.Map(2, func(j int) (float64, error) {
+			plans, label := testPlans, "same"
+			if j == 1 {
+				plans, label = trainPlans, "cross"
+			}
+			r, err := core.RunWithPlans(p.test(), plans, cfg)
+			if err != nil {
+				return 0, fmt.Errorf("fig12 %s %s-input: %w", p.key, label, err)
+			}
+			return r.Speedup(base), nil
+		})
+		if err != nil {
+			return Fig12Row{}, err
+		}
+		return Fig12Row{Key: p.key, TrainSpeedup: sps[0], TestSpeedup: sps[1]}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{Rows: rows}
 	var trains, tests []float64
-	for _, p := range fig12Pairs(o) {
-		trainW := p.train()
-		_, trainPlans, err := core.ProfileAndPlan(trainW, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig12 %s train profile: %w", p.key, err)
-		}
-
-		testW := p.test()
-		_, testPlans, err := core.ProfileAndPlan(testW, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig12 %s test profile: %w", p.key, err)
-		}
-
-		base, err := core.RunBaseline(testW, cfg)
-		if err != nil {
-			return nil, err
-		}
-		// "TRAIN-DATA": profile and evaluation on the same (test) input.
-		same, err := core.RunWithPlans(testW, testPlans, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig12 %s same-input: %w", p.key, err)
-		}
-		// "TEST-DATA": plans from the train input applied to the test
-		// input.
-		cross, err := core.RunWithPlans(testW, trainPlans, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig12 %s cross-input: %w", p.key, err)
-		}
-		row := Fig12Row{
-			Key:          p.key,
-			TrainSpeedup: same.Speedup(base),
-			TestSpeedup:  cross.Speedup(base),
-		}
-		res.Rows = append(res.Rows, row)
+	for _, row := range rows {
 		trains = append(trains, row.TrainSpeedup)
 		tests = append(tests, row.TestSpeedup)
 	}

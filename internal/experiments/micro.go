@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"aptget/internal/core"
+	"aptget/internal/runner"
 	"aptget/internal/workloads"
 )
 
@@ -22,32 +23,39 @@ type Table1Result struct {
 	Rows []Table1Row
 }
 
-// Table1 runs the experiment.
+// Table1 runs the experiment. The baseline and the three distances are
+// four independent jobs on the runner pool.
 func Table1(o Options) (*Table1Result, error) {
 	cfg := o.config()
-	res := &Table1Result{}
+	distances := []int64{1, 64, 1024}
 
-	base, err := core.RunBaseline(workloads.NewMicro(256, workloads.ComplexityLow), cfg)
-	if err != nil {
-		return nil, err
-	}
-	res.Rows = append(res.Rows, Table1Row{Label: "None", IPC: base.Counters.IPC()})
-
-	for _, d := range []int64{1, 64, 1024} {
+	rows, err := runner.Map(1+len(distances), func(i int) (Table1Row, error) {
+		w := workloads.NewMicro(256, workloads.ComplexityLow)
+		if i == 0 {
+			base, err := core.RunBaseline(w, cfg)
+			if err != nil {
+				return Table1Row{}, err
+			}
+			return Table1Row{Label: "None", IPC: base.Counters.IPC()}, nil
+		}
+		d := distances[i-1]
 		c := cfg
 		c.Static.Distance = d
-		r, err := core.RunStatic(workloads.NewMicro(256, workloads.ComplexityLow), c)
+		r, err := core.RunStatic(w, c)
 		if err != nil {
-			return nil, fmt.Errorf("table1 dist %d: %w", d, err)
+			return Table1Row{}, fmt.Errorf("table1 dist %d: %w", d, err)
 		}
-		res.Rows = append(res.Rows, Table1Row{
+		return Table1Row{
 			Label:            fmt.Sprintf("Dist-%d", d),
 			IPC:              r.Counters.IPC(),
 			PrefetchAccuracy: r.Counters.PrefetchAccuracy(),
 			LatePrefetch:     r.Counters.LatePrefetchRatio(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Table1Result{Rows: rows}, nil
 }
 
 // String renders the table.
@@ -79,20 +87,20 @@ type Fig1Result struct {
 	Series []DistanceSweepSeries
 }
 
-// Fig1 runs the experiment.
+// Fig1 runs the experiment: three complexity series, each a distance
+// sweep, all fanned out on the runner pool.
 func Fig1(o Options) (*Fig1Result, error) {
 	distances := []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
-	res := &Fig1Result{}
-	for _, c := range []workloads.Complexity{
+	cs := []workloads.Complexity{
 		workloads.ComplexityLow, workloads.ComplexityMedium, workloads.ComplexityHigh,
-	} {
-		s, err := microSweep(o, 256, c, distances)
-		if err != nil {
-			return nil, err
-		}
-		res.Series = append(res.Series, s)
 	}
-	return res, nil
+	series, err := runner.Map(len(cs), func(i int) (DistanceSweepSeries, error) {
+		return microSweep(o, 256, cs[i], distances)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig1Result{Series: series}, nil
 }
 
 // Fig2Result reproduces Figure 2: speedup vs. distance for low
@@ -104,37 +112,50 @@ type Fig2Result struct {
 // Fig2 runs the experiment.
 func Fig2(o Options) (*Fig2Result, error) {
 	distances := []int64{1, 2, 4, 8, 16, 32, 64}
-	res := &Fig2Result{}
-	for _, inner := range []int64{4, 16, 64} {
-		s, err := microSweep(o, inner, workloads.ComplexityLow, distances)
+	inners := []int64{4, 16, 64}
+	series, err := runner.Map(len(inners), func(i int) (DistanceSweepSeries, error) {
+		s, err := microSweep(o, inners[i], workloads.ComplexityLow, distances)
 		if err != nil {
-			return nil, err
+			return s, err
 		}
-		s.Label = fmt.Sprintf("INNER=%d", inner)
-		res.Series = append(res.Series, s)
+		s.Label = fmt.Sprintf("INNER=%d", inners[i])
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig2Result{Series: series}, nil
 }
 
+// microSweep enumerates the baseline plus one job per distance, runs them
+// on the pool, and reduces the speedup curve in distance order (so the
+// reported optimum ties break exactly as the serial loop did).
 func microSweep(o Options, inner int64, c workloads.Complexity, distances []int64) (DistanceSweepSeries, error) {
 	cfg := o.config()
 	s := DistanceSweepSeries{
 		Label:     c.String(),
 		Distances: distances,
 	}
-	base, err := core.RunBaseline(workloads.NewMicro(inner, c), cfg)
-	if err != nil {
-		return s, err
-	}
-	best := 0.0
-	for _, d := range distances {
+	runs, err := runner.Map(1+len(distances), func(i int) (*core.Result, error) {
+		if i == 0 {
+			return core.RunBaseline(workloads.NewMicro(inner, c), cfg)
+		}
+		d := distances[i-1]
 		cc := cfg
 		cc.Static.Distance = d
 		r, err := core.RunStatic(workloads.NewMicro(inner, c), cc)
 		if err != nil {
-			return s, fmt.Errorf("micro sweep inner=%d dist=%d: %w", inner, d, err)
+			return nil, fmt.Errorf("micro sweep inner=%d dist=%d: %w", inner, d, err)
 		}
-		sp := r.Speedup(base)
+		return r, nil
+	})
+	if err != nil {
+		return s, err
+	}
+	base := runs[0]
+	best := 0.0
+	for i, d := range distances {
+		sp := runs[1+i].Speedup(base)
 		s.Speedups = append(s.Speedups, sp)
 		if sp > best {
 			best = sp

@@ -6,6 +6,7 @@ import (
 	"aptget/internal/analysis"
 	"aptget/internal/core"
 	"aptget/internal/graphgen"
+	"aptget/internal/runner"
 	"aptget/internal/workloads"
 )
 
@@ -52,34 +53,36 @@ func fig10Apps(o Options) []workloads.Entry {
 	return entries
 }
 
-// Fig10 runs the experiment.
+// Fig10 runs the experiment: one job per app, with the forced-inner and
+// forced-outer runs fanned out within each.
 func Fig10(o Options) (*Fig10Result, error) {
 	cfg := o.config()
-	res := &Fig10Result{}
-	for _, e := range fig10Apps(o) {
-		w := e.New()
-		base, err := core.RunBaseline(w, cfg)
+	entries := fig10Apps(o)
+	rows, err := runner.Map(len(entries), func(i int) (Fig10Row, error) {
+		e := entries[i]
+		base, plans, err := baseAndPlans(e.New, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s: %w", e.Key, err)
-		}
-		_, plans, err := core.ProfileAndPlan(w, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig10 %s: %w", e.Key, err)
+			return Fig10Row{}, fmt.Errorf("fig10 %s: %w", e.Key, err)
 		}
 		row := Fig10Row{Key: e.Key, ChosenSite: siteSummary(plans)}
-		inner, err := core.RunWithPlans(w, forceSite(plans, analysis.SiteInner), cfg)
+		sites := []analysis.Site{analysis.SiteInner, analysis.SiteOuter}
+		sps, err := runner.Map(len(sites), func(j int) (float64, error) {
+			r, err := core.RunWithPlans(e.New(), forceSite(plans, sites[j]), cfg)
+			if err != nil {
+				return 0, fmt.Errorf("fig10 %s %v: %w", e.Key, sites[j], err)
+			}
+			return r.Speedup(base), nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("fig10 %s inner: %w", e.Key, err)
+			return Fig10Row{}, err
 		}
-		outer, err := core.RunWithPlans(w, forceSite(plans, analysis.SiteOuter), cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig10 %s outer: %w", e.Key, err)
-		}
-		row.InnerSpeedup = inner.Speedup(base)
-		row.OuterSpeedup = outer.Speedup(base)
-		res.Rows = append(res.Rows, row)
+		row.InnerSpeedup, row.OuterSpeedup = sps[0], sps[1]
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig10Result{Rows: rows}, nil
 }
 
 // siteSummary counts the sites chosen across a workload's plans.

@@ -1,5 +1,7 @@
 package mem
 
+import "fmt"
+
 // way is one cache way within a set.
 type way struct {
 	line     int64
@@ -19,10 +21,11 @@ type cache struct {
 
 func newCache(lc LevelConfig) *cache {
 	n := lc.Sets()
-	// Round set count down to a power of two for masking; configs in this
-	// repository always are.
-	for n&(n-1) != 0 {
-		n--
+	// The set index is line&(n-1); a non-power-of-two count would alias
+	// sets and silently shrink the cache. Config.Validate catches this at
+	// Hierarchy construction; fail loudly for direct constructions too.
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("mem: %v", lc.Validate()))
 	}
 	sets := make([][]way, n)
 	backing := make([]way, n*lc.Ways)
@@ -37,7 +40,20 @@ func (c *cache) set(line int64) []way { return c.sets[line&c.setMask] }
 // lookup probes for a line; on hit it updates recency and the touched bit
 // (when demand is true) and returns the way.
 func (c *cache) lookup(line int64, demand bool) *way {
-	s := c.set(line)
+	s := c.sets[line&c.setMask]
+	if len(s) == 1 {
+		// Direct-mapped fast path: one candidate, no associative scan.
+		w := &s[0]
+		if !w.valid || w.line != line {
+			return nil
+		}
+		c.lruTick++
+		w.lru = c.lruTick
+		if demand {
+			w.touched = true
+		}
+		return w
+	}
 	for i := range s {
 		w := &s[i]
 		if w.valid && w.line == line {
@@ -102,8 +118,9 @@ func (c *cache) install(line int64, byPrefetch, bySWPrefetch bool) evicted {
 
 // contains probes without updating recency (tests, invariant checks).
 func (c *cache) contains(line int64) bool {
-	for i := range c.set(line) {
-		w := &c.set(line)[i]
+	s := c.set(line)
+	for i := range s {
+		w := &s[i]
 		if w.valid && w.line == line {
 			return true
 		}

@@ -8,13 +8,18 @@
 // (LOAD_HIT_PRE.SW_PF), one issued too early is evicted before use.
 package mem
 
+import "fmt"
+
 // LineSize is the cache line size in bytes.
 const LineSize = 64
 
 // lineShift converts addresses to line numbers.
 const lineShift = 6
 
-// LevelConfig describes one cache level.
+// LevelConfig describes one cache level. The cache indexes sets by
+// masking line-address bits, so the set count (SizeBytes / LineSize /
+// Ways) must be a power of two; Validate rejects anything else rather
+// than letting a misconfigured machine model silently shrink.
 type LevelConfig struct {
 	SizeBytes int64
 	Ways      int
@@ -28,6 +33,20 @@ func (lc LevelConfig) Sets() int {
 		s = 1
 	}
 	return s
+}
+
+// Validate checks that the level is well-formed: at least one way of at
+// least one line, and a power-of-two set count.
+func (lc LevelConfig) Validate() error {
+	if lc.Ways < 1 || lc.SizeBytes < LineSize*int64(max(lc.Ways, 1)) {
+		return fmt.Errorf("cache level needs >=1 way of >=%d bytes: size=%d ways=%d",
+			LineSize, lc.SizeBytes, lc.Ways)
+	}
+	if s := lc.Sets(); s&(s-1) != 0 {
+		return fmt.Errorf("set count %d (size=%d / line=%d / ways=%d) is not a power of two",
+			s, lc.SizeBytes, LineSize, lc.Ways)
+	}
+	return nil
 }
 
 // Config describes the full memory system.
@@ -45,6 +64,23 @@ type Config struct {
 	StridePrefetcher   bool
 	StrideDegree       int // lines prefetched ahead once a stride locks
 	NextLinePrefetcher bool
+}
+
+// Validate checks the whole machine model; New refuses (loudly) to build
+// a hierarchy from an invalid one.
+func (c Config) Validate() error {
+	for _, l := range []struct {
+		name string
+		lc   LevelConfig
+	}{{"L1", c.L1}, {"L2", c.L2}, {"LLC", c.LLC}} {
+		if err := l.lc.Validate(); err != nil {
+			return fmt.Errorf("mem: config %q %s: %w", c.Name, l.name, err)
+		}
+	}
+	if c.FillBuffers < 1 {
+		return fmt.Errorf("mem: config %q needs at least one fill buffer", c.Name)
+	}
+	return nil
 }
 
 // ConfigXeon5218 mirrors the paper's Table 2 machine (Intel Xeon Gold

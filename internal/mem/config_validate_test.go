@@ -1,0 +1,56 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLevelConfigValidate(t *testing.T) {
+	good := LevelConfig{SizeBytes: 32 << 10, Ways: 8, Latency: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("64-set level should validate: %v", err)
+	}
+	// 24 KiB / 64 B / 8 ways = 48 sets: not a power of two.
+	bad := LevelConfig{SizeBytes: 24 << 10, Ways: 8, Latency: 4}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Fatalf("48-set level should fail loudly, got %v", err)
+	}
+	if err := (LevelConfig{}).Validate(); err == nil {
+		t.Fatal("zero level should not validate")
+	}
+	if err := (LevelConfig{SizeBytes: LineSize, Ways: 2}).Validate(); err == nil {
+		t.Fatal("level smaller than ways*line should not validate")
+	}
+}
+
+func TestConfigValidateBuiltins(t *testing.T) {
+	for _, c := range []Config{ConfigScaled(), ConfigXeon5218(), ConfigTiny()} {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("built-in config %s should validate: %v", c.Name, err)
+		}
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	c := ConfigScaled()
+	c.LLC.Ways = 3 // 512 KiB / 64 B / 3 ways: not a power of two
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "LLC") {
+		t.Fatalf("want an LLC validation error, got %v", err)
+	}
+	c = ConfigScaled()
+	c.FillBuffers = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero fill buffers should not validate")
+	}
+}
+
+func TestNewPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mem.New must panic on a non-power-of-two set count")
+		}
+	}()
+	c := ConfigTiny()
+	c.L2.SizeBytes = 24 * LineSize // 6 sets with 4 ways
+	New(c, 1<<12)
+}

@@ -108,8 +108,13 @@ type Hierarchy struct {
 	stride *stridePrefetcher
 }
 
-// New builds a hierarchy over an arena of the given size.
+// New builds a hierarchy over an arena of the given size. It panics on a
+// malformed machine model (see Config.Validate): a misconfigured
+// hierarchy must fail loudly, not simulate a silently smaller cache.
 func New(cfg Config, arenaSize int64) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
+	}
 	h := &Hierarchy{
 		Cfg:   cfg,
 		Arena: NewArena(arenaSize),
@@ -127,8 +132,12 @@ func New(cfg Config, arenaSize int64) *Hierarchy {
 func lineOf(addr int64) int64 { return addr >> lineShift }
 
 // drain completes every fill whose ready time has passed, installing lines
-// into the caches.
+// into the caches. Callers on the hot path skip the call entirely when no
+// fills are in flight (the common case for demand-dominated phases).
 func (h *Hierarchy) drain(now uint64) {
+	if len(h.mshr) == 0 {
+		return
+	}
 	kept := h.mshr[:0]
 	for _, e := range h.mshr {
 		if e.ready <= now {
@@ -201,7 +210,9 @@ func (h *Hierarchy) probeBeyondL1(now uint64, line int64, kind Kind) (Level, uin
 // profiling). For prefetch kinds the returned latency is the fixed issue
 // cost; the fill completes asynchronously.
 func (h *Hierarchy) Access(now uint64, pc uint64, addr int64, kind Kind) Result {
-	h.drain(now)
+	if len(h.mshr) != 0 {
+		h.drain(now)
+	}
 	line := lineOf(addr)
 
 	switch kind {

@@ -1,0 +1,102 @@
+// Package runner is the deterministic parallel execution engine behind
+// the experiment sweeps. Every table/figure run is a set of independent
+// deterministic simulations; runner fans them out over a worker pool and
+// reassembles the results in job-index order, so the reduced output of a
+// parallel run is byte-identical to a serial one. The pool width defaults
+// to GOMAXPROCS and can be pinned (runner.SetMaxWorkers) — width 1
+// degenerates to serial execution, which the determinism tests exploit.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// maxWorkers caps the pool width; 0 means GOMAXPROCS.
+var maxWorkers atomic.Int64
+
+// SetMaxWorkers pins the pool width for subsequent Map/Run calls and
+// returns the previous setting. n <= 0 restores the GOMAXPROCS default.
+// Width 1 forces serial execution (in job order) — results must be
+// identical either way, so this is a testing/debugging knob, not a
+// semantic switch.
+func SetMaxWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// Workers returns the pool width used for n jobs: min(n, the SetMaxWorkers
+// override or GOMAXPROCS).
+func Workers(n int) int {
+	w := int(maxWorkers.Load())
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs f(0), …, f(n-1) on the worker pool and returns the results in
+// index order. Jobs must be independent; f is called from multiple
+// goroutines. All jobs run even when one fails, and the returned error is
+// the lowest-index failure — the same error a serial loop would report —
+// so error behaviour is deterministic too.
+func Map[T any](n int, f func(int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	if w := Workers(n); w == 1 {
+		// Serial fast path: run in order, stop at the first error,
+		// exactly like the pre-pool loops.
+		for i := 0; i < n; i++ {
+			r, err := f(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					results[i], errs[i] = f(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Run is Map for jobs that produce no value: it runs f(0), …, f(n-1) on
+// the pool and returns the lowest-index error, if any.
+func Run(n int, f func(int) error) error {
+	_, err := Map(n, func(i int) (struct{}, error) {
+		return struct{}{}, f(i)
+	})
+	return err
+}

@@ -1,0 +1,128 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	got, err := Map(100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("want 100 results, got %d", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result %d out of order: got %d", i, v)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty map: got %v, %v", got, err)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	e3 := errors.New("job 3")
+	e7 := errors.New("job 7")
+	for _, workers := range []int{1, 4} {
+		prev := SetMaxWorkers(workers)
+		_, err := Map(10, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, e3
+			case 7:
+				return 0, e7
+			}
+			return i, nil
+		})
+		SetMaxWorkers(prev)
+		if err != e3 {
+			t.Fatalf("workers=%d: want the lowest-index error, got %v", workers, err)
+		}
+	}
+}
+
+func TestSerialParallelIdentical(t *testing.T) {
+	run := func(workers int) []string {
+		prev := SetMaxWorkers(workers)
+		defer SetMaxWorkers(prev)
+		out, err := Map(64, func(i int) (string, error) {
+			return fmt.Sprintf("job-%03d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial, parallel := run(1), run(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("result %d differs: %q vs %q", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestRunExecutesEveryJob(t *testing.T) {
+	var n atomic.Int64
+	if err := Run(250, func(i int) error {
+		n.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 250 {
+		t.Fatalf("want 250 jobs, ran %d", n.Load())
+	}
+}
+
+func TestWorkersBounds(t *testing.T) {
+	prev := SetMaxWorkers(0)
+	defer SetMaxWorkers(prev)
+	if w := Workers(1000); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default width should be GOMAXPROCS, got %d", w)
+	}
+	if w := Workers(2); w > 2 {
+		t.Fatalf("width must not exceed job count, got %d", w)
+	}
+	SetMaxWorkers(3)
+	if w := Workers(1000); w != 3 {
+		t.Fatalf("override not honored, got %d", w)
+	}
+}
+
+// TestMapNested exercises pools inside pools (the experiment sweeps nest
+// app-level and distance-level fan-out) under the race detector.
+func TestMapNested(t *testing.T) {
+	prev := SetMaxWorkers(8)
+	defer SetMaxWorkers(prev)
+	got, err := Map(8, func(i int) (int64, error) {
+		inner, err := Map(8, func(j int) (int64, error) {
+			return int64(i * j), nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		var s int64
+		for _, v := range inner {
+			s += v
+		}
+		return s, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if want := int64(i * 28); v != want {
+			t.Fatalf("nested sum %d: want %d, got %d", i, want, v)
+		}
+	}
+}
