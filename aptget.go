@@ -71,6 +71,10 @@ func RunStatic(w Workload, cfg Config) (*Result, error) { return core.RunStatic(
 // RunAptGet executes the full APT-GET pipeline on a workload.
 func RunAptGet(w Workload, cfg Config) (*Result, error) { return core.RunAptGet(w, cfg) }
 
+// RunPipeline is RunAptGet under its descriptive name: profile → analyze
+// → inject → execute, with per-plan provenance on the Result.
+func RunPipeline(w Workload, cfg Config) (*Result, error) { return core.RunPipeline(w, cfg) }
+
 // ProfileAndPlan profiles a workload and returns its prefetch plans.
 func ProfileAndPlan(w Workload, cfg Config) (*Profile, []Plan, error) {
 	return core.ProfileAndPlan(w, cfg)

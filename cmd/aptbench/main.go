@@ -6,6 +6,8 @@
 //	aptbench -exp all           # everything (several minutes)
 //	aptbench -exp fig8 -quick   # representative app subset
 //	aptbench -bench             # perf-regression run -> BENCH_substrate.json
+//	aptbench -exp fig6 -report report.json   # machine-readable stage/plan records
+//	aptbench -exp fig6 -trace                # human-readable pipeline trace
 //
 // Experiments fan out over a GOMAXPROCS-sized worker pool; -workers pins
 // the pool width (1 = serial). Output is identical at any width.
@@ -14,45 +16,67 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
 
 	"aptget/internal/experiments"
+	"aptget/internal/obs"
 	"aptget/internal/runner"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (or 'all')")
-	quick := flag.Bool("quick", false, "restrict sweeps to a representative app subset")
-	list := flag.Bool("list", false, "list experiment ids")
-	workers := flag.Int("workers", 0, "worker pool width (0 = GOMAXPROCS, 1 = serial)")
-	bench := flag.Bool("bench", false, "time every experiment + substrate microbenchmarks, write -benchout")
-	benchout := flag.String("benchout", "BENCH_substrate.json", "perf report path for -bench")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body. Exit status: 0 on success (including
+// -list), 1 for runtime failures, 2 for usage errors (no -exp, unknown
+// experiment, bad flags).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aptbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "", "experiment id (or 'all')")
+	quick := fs.Bool("quick", false, "restrict sweeps to a representative app subset")
+	list := fs.Bool("list", false, "list experiment ids")
+	workers := fs.Int("workers", 0, "worker pool width (0 = GOMAXPROCS, 1 = serial)")
+	bench := fs.Bool("bench", false, "time every experiment + substrate microbenchmarks, write -benchout")
+	benchout := fs.String("benchout", "BENCH_substrate.json", "perf report path for -bench")
+	report := fs.String("report", "", "write per-stage/per-plan observability records to this JSON file")
+	trace := fs.Bool("trace", false, "print a human-readable pipeline trace after the experiments")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	runner.SetMaxWorkers(*workers)
 
 	if *bench {
 		if err := runBench(*quick, *benchout); err != nil {
-			fmt.Fprintf(os.Stderr, "aptbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "aptbench: %v\n", err)
+			return 1
 		}
-		return
+		return 0
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, "experiments:")
+		for _, n := range experiments.Names() {
+			fmt.Fprintf(stdout, "  %s\n", n)
+		}
+		return 0
+	}
+	if *exp == "" {
+		fmt.Fprintln(stderr, "aptbench: -exp is required (use -list for experiment ids)")
+		fs.Usage()
+		return 2
+	}
+
+	if *report != "" || *trace {
+		obs.Enable()
+		obs.Reset()
 	}
 
 	all := experiments.All()
-	if *list || *exp == "" {
-		fmt.Println("experiments:")
-		for _, n := range experiments.Names() {
-			fmt.Printf("  %s\n", n)
-		}
-		if *exp == "" {
-			os.Exit(2)
-		}
-		return
-	}
-
 	opt := experiments.Options{Quick: *quick}
 	var ids []string
 	if *exp == "all" {
@@ -62,19 +86,35 @@ func main() {
 		sort.Strings(ids)
 	} else {
 		if _, ok := all[*exp]; !ok {
-			fmt.Fprintf(os.Stderr, "aptbench: unknown experiment %q (use -list)\n", *exp)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "aptbench: unknown experiment %q (use -list)\n", *exp)
+			return 2
 		}
 		ids = []string{*exp}
 	}
 
 	for _, id := range ids {
 		start := time.Now()
-		res, err := all[id](opt)
+		res, err := experiments.Run(id, opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "aptbench: %s: %v\n", id, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "aptbench: %s: %v\n", id, err)
+			return 1
 		}
-		fmt.Printf("== %s (%.1fs) ==\n%s\n", id, time.Since(start).Seconds(), res)
+		fmt.Fprintf(stdout, "== %s (%.1fs) ==\n%s\n", id, time.Since(start).Seconds(), res)
 	}
+
+	if *report != "" {
+		data, err := obs.Snapshot().JSON()
+		if err != nil {
+			fmt.Fprintf(stderr, "aptbench: marshal report: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*report, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "aptbench: write report: %v\n", err)
+			return 1
+		}
+	}
+	if *trace {
+		fmt.Fprint(stderr, obs.Snapshot().Text())
+	}
+	return 0
 }

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aptget/internal/obs"
+)
+
+// TestBareInvocationIsUsageError covers the missing-flag case: usage on
+// stderr, nothing on stdout, exit status 2.
+func TestBareInvocationIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("bare aptbench exit = %d, want 2", code)
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("bare aptbench wrote to stdout: %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "-exp is required") ||
+		!strings.Contains(stderr.String(), "Usage") {
+		t.Fatalf("bare aptbench stderr missing usage text:\n%s", stderr.String())
+	}
+}
+
+// TestListIsCleanSuccess covers -list: experiment ids on stdout, exit 0.
+func TestListIsCleanSuccess(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	for _, id := range []string{"fig6", "table1", "datasets"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Fatalf("-list output missing %q:\n%s", id, stdout.String())
+		}
+	}
+	if stderr.Len() != 0 {
+		t.Fatalf("-list wrote to stderr: %q", stderr.String())
+	}
+}
+
+func TestUnknownExperimentIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown experiment exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown experiment") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+}
+
+func TestBadFlagIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+}
+
+// TestReportFlagWritesParsableJSON runs the cheapest experiment (the
+// dataset registry — no simulation) with -report and checks the report
+// file parses back into the obs schema.
+func TestReportFlagWritesParsableJSON(t *testing.T) {
+	defer obs.Disable()
+	path := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "datasets", "-report", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep obs.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	found := false
+	for _, r := range rep.Records {
+		if r.Scope == "exp/datasets" && r.Stage == obs.StageExperiment {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("report lacks the exp/datasets experiment span: %+v", rep.Records)
+	}
+	if !strings.Contains(stdout.String(), "== datasets") {
+		t.Fatalf("experiment output missing:\n%s", stdout.String())
+	}
+}
+
+// TestTraceFlagRendersToStderr checks -trace prints the human rendering
+// on stderr, keeping stdout's experiment output untouched.
+func TestTraceFlagRendersToStderr(t *testing.T) {
+	defer obs.Disable()
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exp", "datasets", "-trace"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "exp/datasets") ||
+		!strings.Contains(stderr.String(), "experiment") {
+		t.Fatalf("-trace stderr missing span rendering:\n%s", stderr.String())
+	}
+}

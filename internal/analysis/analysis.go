@@ -22,6 +22,7 @@ import (
 
 	"aptget/internal/ir"
 	"aptget/internal/lbr"
+	"aptget/internal/obs"
 	"aptget/internal/peaks"
 	"aptget/internal/profile"
 )
@@ -61,6 +62,9 @@ type Options struct {
 	// RawIC disables the §3.2 step-5 instruction-component recovery and
 	// uses the lowest latency peak as IC verbatim (ablation).
 	RawIC bool
+	// Obs, when non-nil, receives the stage's counters and per-plan
+	// provenance records (aptbench -report / -trace).
+	Obs *obs.Span
 }
 
 func (o *Options) fill() {
@@ -88,6 +92,17 @@ type LoopTiming struct {
 	Peaks     []float64 // CWT peaks of the latency distribution
 	IC        float64   // instruction-component latency (lowest peak)
 	MC        float64   // memory-component latency (highest − lowest peak)
+
+	// DroppedNonMonotonic counts consecutive-latch cycle deltas that were
+	// discarded because the later entry's cycle stamp was below the
+	// earlier one (wrapped or out-of-order snapshot): without the guard a
+	// single such pair would yield a ~1.8e19-cycle "latency" from the
+	// unsigned subtraction and poison the histogram.
+	DroppedNonMonotonic int
+	// DroppedBreaker counts deltas discarded because an enclosing loop's
+	// latch fired between the two latch occurrences (outer-loop overhead,
+	// not an iteration).
+	DroppedBreaker int
 }
 
 // Plan is the per-delinquent-load output consumed by the injection pass.
@@ -109,10 +124,44 @@ type Plan struct {
 	Fallback string // non-empty when a §3.6 fallback was applied
 }
 
+// Record exports the plan's provenance: the Equation (1) and (2) inputs
+// next to the decisions they produced, in the obs report schema. opt
+// must be the Options the plan was computed with (for K).
+func (p *Plan) Record(opt Options) obs.PlanRecord {
+	opt.fill()
+	rec := obs.PlanRecord{
+		LoadPC:              p.LoadPC,
+		Load:                p.LoadName,
+		Site:                p.Site.String(),
+		Distance:            p.Distance,
+		IC:                  p.Inner.IC,
+		MC:                  p.Inner.MC,
+		AvgTrip:             p.AvgTrip,
+		K:                   opt.K,
+		InnerDistance:       p.InnerDistance,
+		OuterDistance:       p.OuterDistance,
+		PeaksInner:          append([]float64(nil), p.Inner.Peaks...),
+		LatencySamples:      len(p.Inner.Latencies),
+		DroppedNonMonotonic: p.Inner.DroppedNonMonotonic,
+		Fallback:            p.Fallback,
+	}
+	if p.Outer != nil {
+		rec.PeaksOuter = append([]float64(nil), p.Outer.Peaks...)
+		// An outer-site distance is derived from the outer distribution
+		// (or predicted as trip × IC_inner); surface the measured outer
+		// components when the site decision used them.
+		if p.Site == SiteOuter && p.Outer.IC > 0 {
+			rec.IC, rec.MC = p.Outer.IC, p.Outer.MC
+		}
+	}
+	return rec
+}
+
 // Analyze produces one Plan per delinquent load in the profile.
 // The program must be the same build that was profiled (identical PCs).
 func Analyze(prog *ir.Program, prof *profile.Profile, opt Options) ([]Plan, error) {
 	opt.fill()
+	sp := opt.Obs
 	f := prog.Func
 	forest := ir.AnalyzeLoops(f)
 
@@ -125,10 +174,25 @@ func Analyze(prog *ir.Program, prof *profile.Profile, opt Options) ([]Plan, erro
 		loop := forest.InnermostFor(f.Instr(v).Block)
 		if loop == nil {
 			// Loads outside loops cannot be prefetched ahead; skip.
+			sp.Add("loads_outside_loops", 1)
 			continue
 		}
 		plan := planForLoad(f, forest, prof.Samples, dl.PC, v, loop, opt)
 		plans = append(plans, plan)
+	}
+	sp.Set("delinquent_loads", int64(len(prof.Loads)))
+	sp.Set("lbr_samples", int64(len(prof.Samples)))
+	sp.Set("plans", int64(len(plans)))
+	for i := range plans {
+		p := &plans[i]
+		sp.Add("latency_samples", int64(len(p.Inner.Latencies)))
+		sp.Add("peaks_found", int64(len(p.Inner.Peaks)))
+		sp.Add("dropped_non_monotonic", int64(p.Inner.DroppedNonMonotonic))
+		sp.Add("dropped_breaker", int64(p.Inner.DroppedBreaker))
+		if p.Fallback != "" {
+			sp.Add("fallbacks", 1)
+		}
+		sp.AddPlan(p.Record(opt))
 	}
 	return plans, nil
 }
@@ -297,7 +361,7 @@ func contains(pcs []uint64, pc uint64) bool {
 func measureLoop(latch, breakers []uint64, samples []lbr.Sample, opt Options) LoopTiming {
 	lt := LoopTiming{LatchPCs: latch}
 	for _, s := range samples {
-		lastIdx := -1
+		haveLast := false
 		var lastCycle uint64
 		brokeSince := false
 		for _, e := range s.Entries {
@@ -308,10 +372,20 @@ func measureLoop(latch, breakers []uint64, samples []lbr.Sample, opt Options) Lo
 			if !contains(latch, e.From) {
 				continue
 			}
-			if lastIdx >= 0 && !brokeSince {
+			switch {
+			case !haveLast:
+			case brokeSince:
+				lt.DroppedBreaker++
+			case e.Cycle < lastCycle:
+				// Cycle stamps must be non-decreasing within a snapshot;
+				// a wrapped or out-of-order entry would underflow the
+				// unsigned delta. Skip the delta and re-anchor on the new
+				// stamp.
+				lt.DroppedNonMonotonic++
+			default:
 				lt.Latencies = append(lt.Latencies, float64(e.Cycle-lastCycle))
 			}
-			lastIdx = 1
+			haveLast = true
 			lastCycle = e.Cycle
 			brokeSince = false
 		}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"testing"
+
+	"aptget/internal/lbr"
+)
+
+// entries builds one LBR snapshot from (from-PC, cycle) pairs.
+func entries(pairs ...[2]uint64) lbr.Sample {
+	s := lbr.Sample{}
+	for _, p := range pairs {
+		s.Entries = append(s.Entries, lbr.Entry{From: p[0], Cycle: p[1]})
+	}
+	if n := len(s.Entries); n > 0 {
+		s.Cycle = s.Entries[n-1].Cycle
+	}
+	return s
+}
+
+// TestMeasureLoopDeltaExtraction pins the raw delta-extraction rules of
+// measureLoop before any histogram/peak processing: which consecutive
+// latch pairs become latencies, which are discarded, and why.
+func TestMeasureLoopDeltaExtraction(t *testing.T) {
+	const latch, breaker, other = 7, 9, 3
+	opt := Options{}
+	opt.fill()
+
+	cases := []struct {
+		name        string
+		breakers    []uint64
+		samples     []lbr.Sample
+		wantLat     []float64
+		wantBreaker int
+		wantNonMono int
+	}{
+		{
+			name: "plain_deltas",
+			samples: []lbr.Sample{entries(
+				[2]uint64{latch, 100}, [2]uint64{latch, 120}, [2]uint64{latch, 150},
+			)},
+			wantLat: []float64{20, 30},
+		},
+		{
+			name:     "breaker_discards_spanning_delta",
+			breakers: []uint64{breaker},
+			samples: []lbr.Sample{entries(
+				[2]uint64{latch, 100}, [2]uint64{latch, 120},
+				[2]uint64{breaker, 130}, // outer-loop latch: next delta spans outer overhead
+				[2]uint64{latch, 400}, [2]uint64{latch, 420},
+			)},
+			wantLat:     []float64{20, 20},
+			wantBreaker: 1,
+		},
+		{
+			name: "non_monotonic_cycle_skipped_and_reanchored",
+			samples: []lbr.Sample{entries(
+				[2]uint64{latch, 100}, [2]uint64{latch, 120},
+				[2]uint64{latch, 90}, // wrapped/out-of-order stamp: 90-120 would underflow
+				[2]uint64{latch, 110},
+			)},
+			wantLat:     []float64{20, 20},
+			wantNonMono: 1,
+		},
+		{
+			name: "single_latch_snapshots_yield_no_deltas",
+			samples: []lbr.Sample{
+				entries([2]uint64{latch, 100}),
+				entries([2]uint64{latch, 500}),
+				entries([2]uint64{latch, 900}),
+			},
+			wantLat: nil,
+		},
+		{
+			name: "non_latch_entries_ignored",
+			samples: []lbr.Sample{entries(
+				[2]uint64{latch, 100}, [2]uint64{other, 110},
+				[2]uint64{other, 115}, [2]uint64{latch, 140},
+			)},
+			wantLat: []float64{40},
+		},
+		{
+			name:     "state_resets_between_snapshots",
+			breakers: []uint64{breaker},
+			samples: []lbr.Sample{
+				// Snapshot 1 ends right after a breaker...
+				entries([2]uint64{latch, 100}, [2]uint64{breaker, 110}),
+				// ...which must not taint snapshot 2's first delta, and the
+				// anchor must not carry over (5000-100 is not a latency).
+				entries([2]uint64{latch, 5000}, [2]uint64{latch, 5025}),
+			},
+			wantLat: []float64{25},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			lt := measureLoop([]uint64{latch}, c.breakers, c.samples, opt)
+			if len(lt.Latencies) != len(c.wantLat) {
+				t.Fatalf("latencies = %v, want %v", lt.Latencies, c.wantLat)
+			}
+			for i := range c.wantLat {
+				if lt.Latencies[i] != c.wantLat[i] {
+					t.Fatalf("latency[%d] = %v, want %v (all %v)", i, lt.Latencies[i], c.wantLat[i], lt.Latencies)
+				}
+			}
+			if lt.DroppedBreaker != c.wantBreaker {
+				t.Fatalf("DroppedBreaker = %d, want %d", lt.DroppedBreaker, c.wantBreaker)
+			}
+			if lt.DroppedNonMonotonic != c.wantNonMono {
+				t.Fatalf("DroppedNonMonotonic = %d, want %d", lt.DroppedNonMonotonic, c.wantNonMono)
+			}
+		})
+	}
+}
+
+// TestMeasureLoopNoUnderflowLatencies feeds many snapshots with an
+// out-of-order stamp each; on the pre-fix code the unsigned delta
+// underflowed to ~1.8e19 "cycles", poisoning the histogram.
+func TestMeasureLoopNoUnderflowLatencies(t *testing.T) {
+	const latch = 7
+	opt := Options{}
+	opt.fill()
+	var samples []lbr.Sample
+	for i := 0; i < 50; i++ {
+		base := uint64(1000 * (i + 1))
+		samples = append(samples, entries(
+			[2]uint64{latch, base}, [2]uint64{latch, base + 20},
+			[2]uint64{latch, base - 5}, [2]uint64{latch, base + 15},
+		))
+	}
+	lt := measureLoop([]uint64{latch}, nil, samples, opt)
+	for _, l := range lt.Latencies {
+		if l > 1e9 {
+			t.Fatalf("underflowed latency %v in %v", l, lt.Latencies)
+		}
+	}
+	if lt.DroppedNonMonotonic != 50 {
+		t.Fatalf("DroppedNonMonotonic = %d, want 50", lt.DroppedNonMonotonic)
+	}
+}

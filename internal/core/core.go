@@ -15,6 +15,7 @@ import (
 	"aptget/internal/cpu"
 	"aptget/internal/ir"
 	"aptget/internal/mem"
+	"aptget/internal/obs"
 	"aptget/internal/passes"
 	"aptget/internal/pmu"
 	"aptget/internal/profile"
@@ -67,6 +68,13 @@ type Result struct {
 	Counters pmu.Counters
 	Report   *passes.Report  // injection report; nil for the baseline
 	Plans    []analysis.Plan // apt-get only
+
+	// Provenance carries one record per plan explaining *why* each
+	// distance and injection site was chosen — the Equation (1)/(2)
+	// inputs (peaks, IC, MC, trip count, K) and any fallback reason.
+	// Filled for apt-get results regardless of whether the obs registry
+	// is enabled, so experiments can assert on decisions directly.
+	Provenance []obs.PlanRecord
 }
 
 // Speedup returns base.Cycles / r.Cycles.
@@ -92,7 +100,11 @@ func RunStatic(w Workload, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := passes.AinsworthJones(p, cfg.Static)
+	sp := obs.Begin(w.Name()+"/ainsworth-jones", obs.StageInject)
+	sopt := cfg.Static
+	sopt.Obs = sp
+	rep, err := passes.AinsworthJones(p, sopt)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: static pass on %s: %w", w.Name(), err)
 	}
@@ -103,15 +115,24 @@ func RunStatic(w Workload, cfg Config) (*Result, error) {
 // returning the prefetch plans (and the raw profile for inspection).
 func ProfileAndPlan(w Workload, cfg Config) (*profile.Profile, []analysis.Plan, error) {
 	cfg.fill()
+	scope := w.Name() + "/apt-get"
 	p, err := w.Build()
 	if err != nil {
 		return nil, nil, err
 	}
-	prof, err := profile.Collect(p, cfg.Machine, w.InitMem, cfg.Profile)
+	sp := obs.Begin(scope, obs.StageProfile)
+	popt := cfg.Profile
+	popt.Obs = sp
+	prof, err := profile.Collect(p, cfg.Machine, w.InitMem, popt)
+	sp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: profiling %s: %w", w.Name(), err)
 	}
-	plans, err := analysis.Analyze(p, prof, cfg.Analysis)
+	sp = obs.Begin(scope, obs.StageAnalysis)
+	aopt := cfg.Analysis
+	aopt.Obs = sp
+	plans, err := analysis.Analyze(p, prof, aopt)
+	sp.End()
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: analyzing %s: %w", w.Name(), err)
 	}
@@ -119,8 +140,17 @@ func ProfileAndPlan(w Workload, cfg Config) (*profile.Profile, []analysis.Plan, 
 }
 
 // RunAptGet runs the full APT-GET pipeline: profile, analyze, inject,
-// execute.
+// execute. It is RunPipeline under the evaluation's historical name.
 func RunAptGet(w Workload, cfg Config) (*Result, error) {
+	return RunPipeline(w, cfg)
+}
+
+// RunPipeline is the paper's end-to-end flow: profile once, derive
+// plans from the analytical model, inject the prefetch slices, and run
+// the optimized build. Each stage opens an obs span scoped to the
+// workload, and the returned Result carries per-plan provenance so a
+// caller can audit why each distance and site was chosen.
+func RunPipeline(w Workload, cfg Config) (*Result, error) {
 	cfg.fill()
 	_, plans, err := ProfileAndPlan(w, cfg)
 	if err != nil {
@@ -139,20 +169,41 @@ func RunWithPlans(w Workload, plans []analysis.Plan, cfg Config) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	rep, err := passes.AptGet(p, plans, cfg.Inject)
+	sp := obs.Begin(w.Name()+"/apt-get", obs.StageInject)
+	iopt := cfg.Inject
+	iopt.Obs = sp
+	rep, err := passes.AptGet(p, plans, iopt)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: apt-get pass on %s: %w", w.Name(), err)
 	}
-	return execute(w, p, cfg, "apt-get", rep, plans)
+	res, err := execute(w, p, cfg, "apt-get", rep, plans)
+	if err != nil {
+		return nil, err
+	}
+	res.Provenance = make([]obs.PlanRecord, len(plans))
+	for i := range plans {
+		res.Provenance[i] = plans[i].Record(cfg.Analysis)
+	}
+	return res, nil
 }
 
 func execute(w Workload, p *ir.Program, cfg Config, variant string,
 	rep *passes.Report, plans []analysis.Plan) (*Result, error) {
 
+	sp := obs.Begin(w.Name()+"/"+variant, obs.StageExecute)
 	res, err := cpu.Run(p, cfg.Machine, cpu.Options{InitMem: w.InitMem})
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: running %s (%s): %w", w.Name(), variant, err)
 	}
+	if sp != nil {
+		sp.SetAll(res.Counters.Export())
+		for k, v := range res.Counters.ExportMetrics() {
+			sp.SetMetric(k, v)
+		}
+	}
+	sp.End()
 	if !cfg.SkipVerify {
 		if err := w.Verify(res.Hier.Arena); err != nil {
 			return nil, fmt.Errorf("core: %s (%s) computed a wrong result: %w",

@@ -8,6 +8,7 @@ import (
 
 	"aptget/internal/ir"
 	"aptget/internal/mem"
+	"aptget/internal/obs"
 )
 
 // microWorkload is a minimal Workload: the nested indirect kernel with a
@@ -146,6 +147,138 @@ func TestRunWithPlansCrossInput(t *testing.T) {
 	}
 	if sp := optTest.Speedup(baseTest); sp < 1.2 {
 		t.Fatalf("train-plans should transfer to test input, got %.2fx", sp)
+	}
+}
+
+// TestPipelineProvenanceExplainsDecisions checks that RunPipeline
+// attaches one provenance record per plan carrying the Equation (1)/(2)
+// inputs, and that the recorded decision is re-derivable from them.
+func TestPipelineProvenanceExplainsDecisions(t *testing.T) {
+	w := newMicro(4096, 4)
+	res, err := RunPipeline(w, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plans) == 0 {
+		t.Fatal("no plans")
+	}
+	if len(res.Provenance) != len(res.Plans) {
+		t.Fatalf("provenance records = %d, want one per plan (%d)",
+			len(res.Provenance), len(res.Plans))
+	}
+	for i, rec := range res.Provenance {
+		if rec.LoadPC != res.Plans[i].LoadPC {
+			t.Fatalf("record %d is for PC %d, plan has %d", i, rec.LoadPC, res.Plans[i].LoadPC)
+		}
+		if rec.Distance < 1 {
+			t.Fatalf("record %d: distance %d < 1", i, rec.Distance)
+		}
+		if rec.Site != "inner" && rec.Site != "outer" {
+			t.Fatalf("record %d: bad site %q", i, rec.Site)
+		}
+		if rec.K <= 0 {
+			t.Fatalf("record %d: Equation (2) factor K missing", i)
+		}
+		if rec.Fallback != "" {
+			continue // fallback plans legitimately lack model inputs
+		}
+		if rec.LatencySamples == 0 || len(rec.PeaksInner) == 0 {
+			t.Fatalf("record %d: model inputs missing without a fallback: %+v", i, rec)
+		}
+		if rec.IC <= 0 || rec.MC <= 0 {
+			t.Fatalf("record %d: IC/MC not recorded: %+v", i, rec)
+		}
+		switch rec.Site {
+		case "inner":
+			// Equation (1): distance = ceil(MC/IC), modulo the
+			// [1, MaxDistance] clamp and the non-affine overhead solve.
+			want := int64(math.Ceil(rec.MC / rec.IC))
+			if want < 1 {
+				want = 1
+			}
+			if rec.Distance > want {
+				t.Fatalf("record %d: inner distance %d exceeds ceil(%.0f/%.0f)=%d",
+					i, rec.Distance, rec.MC, rec.IC, want)
+			}
+		case "outer":
+			// Equation (2): outer injection is chosen precisely when the
+			// trip count cannot cover K × inner distance.
+			if rec.AvgTrip >= float64(rec.K)*float64(rec.InnerDistance) {
+				t.Fatalf("record %d: outer site but trip %.1f covers K(%d)×innerD(%d)",
+					i, rec.AvgTrip, rec.K, rec.InnerDistance)
+			}
+			if rec.Distance != rec.OuterDistance {
+				t.Fatalf("record %d: outer site distance %d ≠ recorded outer distance %d",
+					i, rec.Distance, rec.OuterDistance)
+			}
+		}
+	}
+}
+
+// TestPipelineSpansRecorded runs the full pipeline with the obs registry
+// enabled and checks one span per stage lands in the snapshot, in
+// pipeline order, carrying the stage's headline counters.
+func TestPipelineSpansRecorded(t *testing.T) {
+	obs.Enable()
+	obs.Reset()
+	defer obs.Disable()
+
+	w := newMicro(256, 4)
+	res, err := RunPipeline(w, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := obs.Snapshot()
+	byStage := map[string]obs.Record{}
+	var order []string
+	for _, r := range rep.Records {
+		if r.Scope == "micro/apt-get" {
+			byStage[r.Stage] = r
+			order = append(order, r.Stage)
+		}
+	}
+	wantOrder := []string{obs.StageProfile, obs.StageAnalysis, obs.StageInject, obs.StageExecute}
+	if len(order) != len(wantOrder) {
+		t.Fatalf("stages recorded for micro/apt-get: %v, want %v", order, wantOrder)
+	}
+	for i := range wantOrder {
+		if order[i] != wantOrder[i] {
+			t.Fatalf("stage order %v, want %v", order, wantOrder)
+		}
+	}
+	if byStage[obs.StageProfile].Counters["lbr_samples"] == 0 {
+		t.Fatalf("profile span missing lbr_samples: %+v", byStage[obs.StageProfile])
+	}
+	an := byStage[obs.StageAnalysis]
+	if an.Counters["plans"] != int64(len(res.Plans)) {
+		t.Fatalf("analysis span plans = %d, result has %d", an.Counters["plans"], len(res.Plans))
+	}
+	if len(an.Plans) != len(res.Plans) {
+		t.Fatalf("analysis span carries %d plan records, want %d", len(an.Plans), len(res.Plans))
+	}
+	ex := byStage[obs.StageExecute]
+	if ex.Counters["cycles"] == 0 || ex.Counters["instructions"] == 0 {
+		t.Fatalf("execute span missing PMU counters: %+v", ex.Counters)
+	}
+	if ex.Metrics["ipc"] <= 0 {
+		t.Fatalf("execute span missing ipc metric: %+v", ex.Metrics)
+	}
+}
+
+// TestPipelineProvenanceWithoutObs checks provenance is filled even when
+// the registry is disabled (the default for experiment runs).
+func TestPipelineProvenanceWithoutObs(t *testing.T) {
+	if obs.Enabled() {
+		t.Fatal("registry unexpectedly enabled")
+	}
+	res, err := RunPipeline(newMicro(256, 4), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Provenance) == 0 || len(res.Provenance) != len(res.Plans) {
+		t.Fatalf("provenance should not depend on the obs registry: %d records, %d plans",
+			len(res.Provenance), len(res.Plans))
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"aptget/internal/graphgen"
+	"aptget/internal/obs"
 	"aptget/internal/workloads"
 )
 
@@ -53,6 +54,19 @@ func buildAll() map[string]Runner {
 		"ablation": wrap(Ablation),
 		"lbrwidth": wrap(LBRWidth),
 	}
+}
+
+// Run executes one experiment by ID under an observability span, so
+// aptbench -report/-trace records per-experiment wall times alongside
+// the pipeline-stage spans the experiment's runs open.
+func Run(id string, o Options) (fmt.Stringer, error) {
+	r, ok := All()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	sp := obs.Begin("exp/"+id, obs.StageExperiment)
+	defer sp.End()
+	return r(o)
 }
 
 // Names returns the experiment IDs in stable order.

@@ -1,5 +1,7 @@
 package mem
 
+import "strings"
+
 // Kind classifies a memory request.
 type Kind uint8
 
@@ -92,6 +94,28 @@ func (s *Stats) PrefetchAccuracy() float64 {
 		return 0
 	}
 	return float64(all-s.OffcoreDemand) / float64(all)
+}
+
+// Export adds every memory-system counter to m under stable snake_case
+// keys — the mem half of the observability layer's PMU export.
+func (s *Stats) Export(m map[string]int64) {
+	m["mem_demand_accesses"] = int64(s.DemandAccesses)
+	for l := LevelL1; l < levelCount; l++ {
+		name := strings.ToLower(l.String())
+		m["mem_hits_"+name] = int64(s.Hits[l])
+		m["mem_stall_cycles_"+name] = int64(s.StallCycles[l])
+	}
+	m["offcore_demand"] = int64(s.OffcoreDemand)
+	m["offcore_sw_prefetch"] = int64(s.OffcoreSWPrefetch)
+	m["offcore_hw_prefetch"] = int64(s.OffcoreHWPrefetch)
+	m["fb_hit_sw_prefetch"] = int64(s.FBHitSWPrefetch)
+	m["fb_hit_any"] = int64(s.FBHitAny)
+	m["swpf_issued"] = int64(s.SWPrefetchIssued)
+	m["swpf_cache_hit"] = int64(s.SWPrefetchCacheHit)
+	m["swpf_merged"] = int64(s.SWPrefetchMerged)
+	m["swpf_dropped_full"] = int64(s.SWPrefetchDroppedFull)
+	m["swpf_unused_evicted"] = int64(s.SWPrefetchUnusedEvicted)
+	m["hwpf_issued"] = int64(s.HWPrefetchIssued)
 }
 
 // Hierarchy is the complete simulated memory system.

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Record is the exported form of one span: one record per stage per
+// scope (app/variant). Counters and Metrics marshal with sorted keys
+// (encoding/json map ordering), so a report's field order is stable.
+type Record struct {
+	Scope    string             `json:"scope"`
+	Stage    string             `json:"stage"`
+	WallNS   int64              `json:"wall_ns"`
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	Plans    []PlanRecord       `json:"plans,omitempty"`
+}
+
+// Report is the machine-readable aptbench -report payload.
+type Report struct {
+	Records []Record `json:"records"`
+}
+
+// Snapshot exports every recorded span, ordered by (scope, pipeline
+// stage rank, begin sequence). Open spans are included with the wall
+// time they have accumulated so far being zero; callers normally End
+// every span before snapshotting.
+func Snapshot() *Report {
+	registry.mu.Lock()
+	spans := make([]*Span, len(registry.spans))
+	copy(spans, registry.spans)
+	registry.mu.Unlock()
+
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Scope != b.Scope {
+			return a.Scope < b.Scope
+		}
+		ra, rb := stageRank(a.Stage), stageRank(b.Stage)
+		if ra != rb {
+			return ra < rb
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		return a.seq < b.seq
+	})
+
+	rep := &Report{Records: make([]Record, 0, len(spans))}
+	for _, s := range spans {
+		rec := Record{
+			Scope:  s.Scope,
+			Stage:  s.Stage,
+			WallNS: s.wallNS,
+			Plans:  append([]PlanRecord(nil), s.plans...),
+		}
+		if len(s.counters) > 0 {
+			rec.Counters = make(map[string]int64, len(s.counters))
+			for k, v := range s.counters {
+				rec.Counters[k] = v
+			}
+		}
+		if len(s.metrics) > 0 {
+			rec.Metrics = make(map[string]float64, len(s.metrics))
+			for k, v := range s.metrics {
+				rec.Metrics[k] = v
+			}
+		}
+		rep.Records = append(rep.Records, rec)
+	}
+	return rep
+}
+
+// JSON marshals the report, indented, with a trailing newline.
+func (r *Report) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Text renders the report for humans (aptbench -trace): spans grouped
+// by scope in pipeline order, with counters, metrics and per-plan
+// provenance lines.
+func (r *Report) Text() string {
+	var sb strings.Builder
+	prevScope := ""
+	for _, rec := range r.Records {
+		if rec.Scope != prevScope {
+			fmt.Fprintf(&sb, "%s\n", rec.Scope)
+			prevScope = rec.Scope
+		}
+		fmt.Fprintf(&sb, "  %-10s %9.2fms", rec.Stage, float64(rec.WallNS)/1e6)
+		for _, k := range sortedKeys(rec.Counters) {
+			fmt.Fprintf(&sb, "  %s=%d", k, rec.Counters[k])
+		}
+		for _, k := range sortedKeys(rec.Metrics) {
+			fmt.Fprintf(&sb, "  %s=%.4g", k, rec.Metrics[k])
+		}
+		sb.WriteByte('\n')
+		for _, p := range rec.Plans {
+			fmt.Fprintf(&sb,
+				"    plan load=%s pc=%d: peaks=%v IC=%.0f MC=%.0f (Eq.1) "+
+					"trip=%.1f K=%d (Eq.2) -> site=%s distance=%d",
+				p.Load, p.LoadPC, p.PeaksInner, p.IC, p.MC,
+				p.AvgTrip, p.K, p.Site, p.Distance)
+			if p.Fallback != "" {
+				fmt.Fprintf(&sb, " [fallback: %s]", p.Fallback)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"aptget/internal/ir"
+	"aptget/internal/obs"
 )
 
 // StaticOptions configures the Ainsworth & Jones baseline pass.
@@ -11,6 +12,19 @@ type StaticOptions struct {
 	// Distance is the compile-time prefetch distance, the paper's
 	// -DFETCHDIST flag. Default 32.
 	Distance int64
+	// Obs, when non-nil, receives the pass's counters (aptbench -report).
+	Obs *obs.Span
+}
+
+// LoadReport records what the pass did to one candidate load.
+type LoadReport struct {
+	PC          uint64 // load PC before the pass ran
+	Name        string // debug label of the load
+	SliceInstrs int    // dependence-slice size (0 when extraction failed)
+	Distance    int64  // prefetch distance used (0 when skipped)
+	Site        string // "inner" | "outer" ("" when skipped)
+	InstrsAdded int    // instructions the injection inserted
+	Skipped     string // non-empty reason when no prefetch was emitted
 }
 
 // Report summarizes what a pass did to a program.
@@ -19,12 +33,25 @@ type Report struct {
 	Injected    int // prefetch slices emitted
 	Skipped     int // candidates whose slice could not be injected
 	InstrsAdded int // instructions inserted
+
+	Loads []LoadReport // per-candidate detail, candidate order
 }
 
 // String renders the report.
 func (r *Report) String() string {
 	return fmt.Sprintf("candidates=%d injected=%d skipped=%d instrs+=%d",
 		r.Candidates, r.Injected, r.Skipped, r.InstrsAdded)
+}
+
+// observe copies the report's aggregate counters onto a span.
+func (r *Report) observe(sp *obs.Span) {
+	sp.Set("candidates", int64(r.Candidates))
+	sp.Set("injected", int64(r.Injected))
+	sp.Set("skipped", int64(r.Skipped))
+	sp.Set("instrs_added", int64(r.InstrsAdded))
+	for _, l := range r.Loads {
+		sp.Add("slice_instrs", int64(l.SliceInstrs))
+	}
 }
 
 // AinsworthJones applies the static software-prefetching pass of
@@ -45,19 +72,30 @@ func AinsworthJones(p *ir.Program, opt StaticOptions) (*Report, error) {
 	rep := &Report{}
 	for _, load := range Candidates(f, forest) {
 		rep.Candidates++
+		lr := LoadReport{PC: f.Instr(load).PC, Name: f.Instr(load).Name}
 		s, ok := ExtractSlice(f, forest, load)
 		if !ok {
 			rep.Skipped++
+			lr.Skipped = "slice extraction failed"
+			rep.Loads = append(rep.Loads, lr)
 			continue
 		}
+		lr.SliceInstrs = len(s.Instrs)
 		n, err := InjectInner(f, forest, s, opt.Distance)
 		rep.InstrsAdded += n
+		lr.InstrsAdded = n
 		if err != nil {
 			rep.Skipped++
+			lr.Skipped = err.Error()
+			rep.Loads = append(rep.Loads, lr)
 			continue
 		}
 		rep.Injected++
+		lr.Distance = opt.Distance
+		lr.Site = "inner"
+		rep.Loads = append(rep.Loads, lr)
 	}
+	rep.observe(opt.Obs)
 	f.AssignPCs()
 	if err := f.Validate(); err != nil {
 		return rep, fmt.Errorf("passes: ainsworth-jones produced invalid IR: %w", err)

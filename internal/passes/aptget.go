@@ -6,6 +6,7 @@ import (
 
 	"aptget/internal/analysis"
 	"aptget/internal/ir"
+	"aptget/internal/obs"
 )
 
 // AptGetOptions configures the profile-guided injection pass.
@@ -16,6 +17,9 @@ type AptGetOptions struct {
 	MaxOuterSweep int64
 	// Inject toggles pass features for ablations.
 	Inject InjectOptions
+	// Obs, when non-nil, receives the pass's counters — slice sizes,
+	// prefetches injected, skip reasons (aptbench -report).
+	Obs *obs.Span
 }
 
 // AptGet applies the APT-GET profile-guided pass (Algorithm 2 with
@@ -39,27 +43,40 @@ func AptGet(p *ir.Program, plans []analysis.Plan, opt AptGetOptions) (*Report, e
 		if f.Instr(plan.Load).Op != ir.OpLoad {
 			return rep, fmt.Errorf("passes: plan %d: v%d is not a load", i, plan.Load)
 		}
+		lr := LoadReport{PC: plan.LoadPC, Name: plan.LoadName}
 		s, ok := ExtractSlice(f, forest, plan.Load)
 		if !ok {
 			rep.Skipped++
+			lr.Skipped = "slice extraction failed"
+			rep.Loads = append(rep.Loads, lr)
 			continue
 		}
+		lr.SliceInstrs = len(s.Instrs)
 		if s.MainLoads == 0 && !s.RecurrenceRoot {
 			// Affine stream (e.g. the col[e] walk of a CSR kernel): the
 			// hardware stride prefetcher already covers it, and a
 			// software slice would only add instruction overhead. The
 			// static pass applies the same indirect-pattern filter.
 			rep.Skipped++
+			lr.Skipped = "affine stream (hardware prefetcher covers it)"
+			rep.Loads = append(rep.Loads, lr)
 			continue
 		}
 		n, err := inject(f, forest, s, plan, opt)
 		rep.InstrsAdded += n
+		lr.InstrsAdded = n
 		if err != nil {
 			rep.Skipped++
+			lr.Skipped = err.Error()
+			rep.Loads = append(rep.Loads, lr)
 			continue
 		}
 		rep.Injected++
+		lr.Distance = plan.Distance
+		lr.Site = plan.Site.String()
+		rep.Loads = append(rep.Loads, lr)
 	}
+	rep.observe(opt.Obs)
 	f.AssignPCs()
 	if err := f.Validate(); err != nil {
 		return rep, fmt.Errorf("passes: apt-get produced invalid IR: %w", err)

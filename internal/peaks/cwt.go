@@ -34,8 +34,12 @@ func convolveSame(signal, kernel []float64) []float64 {
 	n, m := len(signal), len(kernel)
 	out := make([]float64, n)
 	// full convolution index f = s + k; "same" keeps f in
-	// [(m-1)/2, (m-1)/2 + n).
-	off := (m - 1) / 2
+	// [m/2, m/2 + n). numpy centres an even-length kernel on the
+	// *right* of the two middle taps (off = m/2), which only differs
+	// from the odd-kernel (m-1)/2 when CWT clips the wavelet to an even
+	// len(signal); using (m-1)/2 there shifts every response — and so
+	// every detected peak — one bin low.
+	off := m / 2
 	for i := 0; i < n; i++ {
 		f := i + off
 		var sum float64

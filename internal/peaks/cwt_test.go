@@ -69,6 +69,72 @@ func TestConvolveSameMatchesNaive(t *testing.T) {
 	}
 }
 
+// TestConvolveSameEvenKernel pins the numpy mode="same" centering for
+// even-length kernels: the output window starts at full-convolution
+// index m/2, one bin later than the (m-1)/2 an odd kernel uses.
+// Expected rows are hand-computed full convolutions sliced at m/2.
+func TestConvolveSameEvenKernel(t *testing.T) {
+	cases := []struct {
+		name   string
+		signal []float64
+		kernel []float64
+		want   []float64
+	}{
+		{
+			name:   "boxcar2",
+			signal: []float64{1, 2, 3, 4},
+			kernel: []float64{1, 1},
+			// full = [1 3 5 7 4]; numpy same = full[1:5].
+			want: []float64{3, 5, 7, 4},
+		},
+		{
+			name:   "asymmetric4",
+			signal: []float64{1, 2, 3, 4, 5, 6},
+			kernel: []float64{1, 2, 1, 1},
+			// full = [1 4 8 13 18 23 21 11 6]; numpy same = full[2:8].
+			want: []float64{8, 13, 18, 23, 21, 11},
+		},
+		{
+			name:   "kernel_longer_even",
+			signal: []float64{1, 2, 3},
+			kernel: []float64{1, 1, 1, 1},
+			// full = [1 3 6 6 5 3]; numpy same = full[2:5].
+			want: []float64{6, 6, 5},
+		},
+	}
+	for _, c := range cases {
+		got := convolveSame(c.signal, c.kernel)
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: len = %d, want %d", c.name, len(got), len(c.want))
+		}
+		for i := range c.want {
+			if math.Abs(got[i]-c.want[i]) > 1e-12 {
+				t.Fatalf("%s: convolve[%d] = %v, want %v (all %v)",
+					c.name, i, got[i], c.want[i], got)
+			}
+		}
+	}
+}
+
+// TestCWTClippedEvenWaveletCentered covers the path that produced the
+// bug: an even len(signal) shorter than 10w+1 clips the Ricker wavelet
+// to an even length. Convolving an impulse must reproduce the wavelet
+// itself under numpy centering — out[i] = wavelet[i] — not a one-bin
+// shift of it.
+func TestCWTClippedEvenWaveletCentered(t *testing.T) {
+	const n, w = 30, 3 // 10w+1 = 31 > 30 -> wavelet clipped to 30 taps (even)
+	signal := make([]float64, n)
+	signal[n/2] = 1
+	rows := CWT(signal, []int{w})
+	wav := Ricker(n, w)
+	for i := range rows[0] {
+		if math.Abs(rows[0][i]-wav[i]) > 1e-12 {
+			t.Fatalf("clipped-wavelet response shifted: out[%d] = %v, want wavelet[%d] = %v",
+				i, rows[0][i], i, wav[i])
+		}
+	}
+}
+
 func TestSinglePeakDetected(t *testing.T) {
 	sig := gaussians(200, []int{80}, 5, 100, 0, 1)
 	got := FindPeaksCWT(sig, DefaultWidths(12), Options{})

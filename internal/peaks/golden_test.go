@@ -1,0 +1,63 @@
+package peaks
+
+import (
+	"testing"
+)
+
+// TestGoldenBimodalLatencyHistogram is a golden fixture mirroring
+// scipy.signal.find_peaks_cwt on the paper's canonical analysis input: a
+// bimodal loop-latency histogram whose low mode is the in-cache (IC)
+// latency and whose high mode is the memory (MC) latency. The 128-bin
+// signal is even-length and the width ladder reaches 16, so the coarse
+// scales clip the Ricker wavelet to an even kernel — the exact path the
+// convolveSame centering fix covers. Peak bins are asserted exactly: a
+// one-bin shift here becomes a wrong Equation-1 distance downstream.
+func TestGoldenBimodalLatencyHistogram(t *testing.T) {
+	// IC population: tall, tight bump at bin 20 (~40 cycles at 2
+	// cycles/bin). MC population: broader bump at bin 90 (~180 cycles).
+	sig := gaussians(128, []int{20}, 3, 500, 0, 0)
+	for i, v := range gaussians(128, []int{90}, 5, 200, 0, 0) {
+		sig[i] += v
+	}
+
+	got := FindPeaksCWT(sig, DefaultWidths(16), Options{})
+	want := []int{20, 90}
+	if len(got) != len(want) {
+		t.Fatalf("peaks = %v, want exactly %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("peak %d at bin %d, want exactly bin %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestGoldenBimodalThroughHistogram drives the same fixture through the
+// Histogram wrapper the analysis stage actually calls, checking the
+// bin-centre → cycle conversion end to end.
+func TestGoldenBimodalThroughHistogram(t *testing.T) {
+	var samples []float64
+	// 500 IC iterations at exactly 40 cycles, 200 MC at 180 cycles, with
+	// deterministic symmetric spread so each mode stays on its centre bin.
+	for _, m := range []struct {
+		n      int
+		cycles float64
+		spread float64
+	}{{500, 40, 2}, {200, 180, 4}} {
+		for i := 0; i < m.n; i++ {
+			off := float64(i%5-2) / 2 * m.spread
+			samples = append(samples, m.cycles+off)
+		}
+	}
+	h := NewHistogram(samples, 2)
+	got := h.Peaks(0, Options{})
+	if len(got) != 2 {
+		t.Fatalf("want 2 latency peaks, got %v", got)
+	}
+	// Samples span [38, 184], so bin centres sit at Min+(i+0.5)*2: the
+	// 40-cycle mode lands in bin 1 (centre 41) and the 180-cycle mode in
+	// bin 70 (centre 179).
+	if got[0] != 41 || got[1] != 179 {
+		t.Fatalf("latency peaks = %v, want exactly [41 179]", got)
+	}
+}

@@ -96,6 +96,37 @@ func (c *Counters) InstructionOverhead(baseline *Counters) float64 {
 	return float64(c.Instructions) / float64(baseline.Instructions)
 }
 
+// Export returns every counter — core and memory system — as a flat
+// map under stable snake_case keys: the machine-readable form the
+// observability layer attaches to execute-stage spans (aptbench
+// -report). Derived metrics (IPC, MPKI, …) are not included; they are
+// recomputable from the counters and exported separately as metrics.
+func (c *Counters) Export() map[string]int64 {
+	m := map[string]int64{
+		"cycles":         int64(c.Cycles),
+		"instructions":   int64(c.Instructions),
+		"loads":          int64(c.Loads),
+		"stores":         int64(c.Stores),
+		"sw_prefetches":  int64(c.SWPrefetches),
+		"branches":       int64(c.Branches),
+		"taken_branches": int64(c.TakenBranches),
+	}
+	c.Mem.Export(m)
+	return m
+}
+
+// ExportMetrics returns the derived per-run metrics the paper reports
+// (perf-stat style), keyed like Export.
+func (c *Counters) ExportMetrics() map[string]float64 {
+	return map[string]float64{
+		"ipc":                 c.IPC(),
+		"mpki":                c.MPKI(),
+		"prefetch_accuracy":   c.PrefetchAccuracy(),
+		"late_prefetch_ratio": c.LatePrefetchRatio(),
+		"mem_bound_fraction":  c.MemBoundFraction(),
+	}
+}
+
 // String renders a perf-stat-style report.
 func (c *Counters) String() string {
 	var sb strings.Builder

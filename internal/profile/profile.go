@@ -12,6 +12,7 @@ import (
 	"aptget/internal/ir"
 	"aptget/internal/lbr"
 	"aptget/internal/mem"
+	"aptget/internal/obs"
 	"aptget/internal/pebs"
 	"aptget/internal/pmu"
 )
@@ -37,6 +38,10 @@ type Options struct {
 	MinLoadMPKI float64
 	// LBRWidth overrides the branch-record depth (0 = 32, Intel LBR).
 	LBRWidth int
+	// Obs, when non-nil, receives the profiling stage's counters —
+	// snapshots taken, PEBS samples, and how many delinquent-load
+	// candidates the MPKI gate kept or dropped (aptbench -report).
+	Obs *obs.Span
 }
 
 func (o *Options) fill() {
@@ -75,6 +80,7 @@ func Collect(p *ir.Program, cfg mem.Config, initMem func(*mem.Arena), opt Option
 		return nil, fmt.Errorf("profile: %w", err)
 	}
 	loads := res.PEBS.Delinquent(opt.DelinquentShare)
+	candidates := len(loads)
 	// Gate on the absolute miss rate: each PEBS sample stands for
 	// PEBSPeriod misses.
 	if res.Counters.Instructions > 0 && opt.MinLoadMPKI > 0 {
@@ -87,6 +93,20 @@ func Collect(p *ir.Program, cfg mem.Config, initMem func(*mem.Arena), opt Option
 			}
 		}
 		loads = kept
+	}
+	if sp := opt.Obs; sp != nil {
+		sp.Set("cycles", int64(res.Counters.Cycles))
+		sp.Set("instructions", int64(res.Counters.Instructions))
+		sp.Set("lbr_samples", int64(len(res.LBRSamples)))
+		var entries int64
+		for _, s := range res.LBRSamples {
+			entries += int64(len(s.Entries))
+		}
+		sp.Set("lbr_entries", entries)
+		sp.Set("pebs_samples", int64(res.PEBS.Samples()))
+		sp.Set("loads_candidates", int64(candidates))
+		sp.Set("loads_kept", int64(len(loads)))
+		sp.Set("loads_dropped_mpki", int64(candidates-len(loads)))
 	}
 	return &Profile{
 		Samples:  res.LBRSamples,
