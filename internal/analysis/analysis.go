@@ -103,6 +103,16 @@ type LoopTiming struct {
 	// latch fired between the two latch occurrences (outer-loop overhead,
 	// not an iteration).
 	DroppedBreaker int
+
+	// HistClampedOutliers and HistDroppedNonFinite surface the latency
+	// histogram's robustness counters: samples clamped into the top bin
+	// by the MaxBins range cap, and NaN/±Inf samples dropped outright.
+	HistClampedOutliers  int
+	HistDroppedNonFinite int
+	// DegenerateSpan is true when the latency range hit the histogram
+	// bin cap. Peaks of such a histogram carry no signal, so the timing
+	// stays empty and the caller takes the §3.6 distance-1 fallback.
+	DegenerateSpan bool
 }
 
 // Plan is the per-delinquent-load output consumed by the injection pass.
@@ -144,6 +154,10 @@ func (p *Plan) Record(opt Options) obs.PlanRecord {
 		LatencySamples:      len(p.Inner.Latencies),
 		DroppedNonMonotonic: p.Inner.DroppedNonMonotonic,
 		Fallback:            p.Fallback,
+
+		HistClampedOutliers:  p.Inner.HistClampedOutliers,
+		HistDroppedNonFinite: p.Inner.HistDroppedNonFinite,
+		HistDegenerateSpan:   p.Inner.DegenerateSpan,
 	}
 	if p.Outer != nil {
 		rec.PeaksOuter = append([]float64(nil), p.Outer.Peaks...)
@@ -189,6 +203,11 @@ func Analyze(prog *ir.Program, prof *profile.Profile, opt Options) ([]Plan, erro
 		sp.Add("peaks_found", int64(len(p.Inner.Peaks)))
 		sp.Add("dropped_non_monotonic", int64(p.Inner.DroppedNonMonotonic))
 		sp.Add("dropped_breaker", int64(p.Inner.DroppedBreaker))
+		sp.Add("histogram_clamped_outliers", int64(p.Inner.HistClampedOutliers))
+		sp.Add("histogram_dropped_nonfinite", int64(p.Inner.HistDroppedNonFinite))
+		if p.Inner.DegenerateSpan {
+			sp.Add("histogram_degenerate_span", 1)
+		}
 		if p.Fallback != "" {
 			sp.Add("fallbacks", 1)
 		}
@@ -394,6 +413,12 @@ func measureLoop(latch, breakers []uint64, samples []lbr.Sample, opt Options) Lo
 		return lt
 	}
 	h := peaks.NewHistogram(lt.Latencies, opt.BinWidth)
+	lt.HistClampedOutliers = h.ClampedOutliers
+	lt.HistDroppedNonFinite = h.DroppedNonFinite
+	if len(h.Counts) >= peaks.MaxBins {
+		lt.DegenerateSpan = true
+		return lt
+	}
 	lt.Peaks = h.Peaks(0, opt.PeakOpts)
 	switch {
 	case len(lt.Peaks) >= 2:

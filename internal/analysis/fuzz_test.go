@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"testing"
+
+	"aptget/internal/testkit"
+)
+
+// FuzzMeasureLoop feeds adversarial LBR streams (wrapped stamps,
+// truncated snapshots, interleaved latches and breakers) through the
+// §3.2 latency extraction. Invariants: no panic, extracted latencies are
+// finite and non-negative (the unsigned-delta guard), IC/MC are
+// non-negative, and the Equation (1) distance stays in [1, MaxDistance].
+func FuzzMeasureLoop(f *testing.F) {
+	f.Add(uint64(3), uint(50))
+	f.Add(uint64(0), uint(0))
+	f.Add(uint64(1<<40), uint(299))
+	f.Fuzz(func(t *testing.T, seed uint64, n uint) {
+		r := testkit.NewRNG(seed)
+		latch := []uint64{100, 200}
+		breakers := []uint64{300}
+		samples := testkit.Samples(r, latch, breakers, int(n%300))
+
+		opt := Options{}
+		opt.fill()
+		var lt LoopTiming
+		if err := testkit.NoPanic(func() { lt = measureLoop(latch, breakers, samples, opt) }); err != nil {
+			t.Fatal(err)
+		}
+		if err := testkit.CheckFinite(lt.Latencies); err != nil {
+			t.Fatal(err)
+		}
+		if lt.IC < 0 || lt.MC < 0 {
+			t.Fatalf("negative timing components: IC=%g MC=%g", lt.IC, lt.MC)
+		}
+		if err := testkit.CheckDistance(distanceFromTiming(lt, opt), opt.MaxDistance); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestMeasureLoopMonotoneNoDrops: cleanly monotone snapshots must never
+// be charged to the non-monotonic drop counter — the guard may only fire
+// on genuinely wrapped or out-of-order stamps.
+func TestMeasureLoopMonotoneNoDrops(t *testing.T) {
+	r := testkit.NewRNG(11)
+	latch := []uint64{100}
+	samples := testkit.Samples(r, latch, nil, 100)
+	for si := range samples {
+		var c uint64
+		for i := range samples[si].Entries {
+			c += 1 + uint64(r.Intn(100))
+			samples[si].Entries[i].Cycle = c
+		}
+	}
+	opt := Options{}
+	opt.fill()
+	lt := measureLoop(latch, nil, samples, opt)
+	if lt.DroppedNonMonotonic != 0 {
+		t.Fatalf("monotone samples charged %d non-monotonic drops", lt.DroppedNonMonotonic)
+	}
+	if err := testkit.CheckFinite(lt.Latencies); err != nil {
+		t.Fatal(err)
+	}
+}

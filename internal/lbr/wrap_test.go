@@ -1,0 +1,47 @@
+package lbr_test
+
+import (
+	"testing"
+
+	"aptget/internal/lbr"
+	"aptget/internal/testkit"
+)
+
+// TestSnapshotWrapAroundProperty: after any number of pushes — far past
+// the ring capacity, at random widths — Snapshot must return exactly the
+// last min(pushes, width) entries, oldest first. The analysis anchors
+// cycle deltas on snapshot order, so a rotated or stale snapshot would
+// silently corrupt every latency it extracts.
+func TestSnapshotWrapAroundProperty(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		r := testkit.NewRNG(seed)
+		width := 0 // default Width
+		if r.Intn(2) == 0 {
+			width = 1 + r.Intn(70)
+		}
+		rec := lbr.New(width)
+		capacity := rec.Width()
+		pushes := r.Intn(4 * capacity)
+		var all []lbr.Entry
+		for i := 0; i < pushes; i++ {
+			e := lbr.Entry{From: uint64(i), To: uint64(i) + 1, Cycle: uint64(i) * 3}
+			rec.Push(e.From, e.To, e.Cycle)
+			all = append(all, e)
+		}
+		want := all
+		if len(want) > capacity {
+			want = all[len(all)-capacity:]
+		}
+		got := rec.Snapshot()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d (width %d, pushes %d): snapshot has %d entries, want %d",
+				seed, capacity, pushes, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d (width %d, pushes %d): entry %d = %+v, want %+v (oldest-first)",
+					seed, capacity, pushes, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package mem_test
+
+import (
+	"testing"
+
+	"aptget/internal/mem"
+	"aptget/internal/testkit"
+)
+
+// FuzzCacheHier drives the hierarchy with an arbitrary access mix —
+// negative addresses, stores, software prefetches, bursty clocks — and
+// checks the structural invariants: no panic, fill-buffer occupancy
+// never exceeds the configured count, every demand access is accounted
+// to exactly one level, and demand latencies are sane.
+func FuzzCacheHier(f *testing.F) {
+	f.Add(uint64(1), uint(200))
+	f.Add(uint64(0), uint(0))
+	f.Add(uint64(1234567), uint(4000))
+	f.Fuzz(func(t *testing.T, seed uint64, n uint) {
+		r := testkit.NewRNG(seed)
+		cfg := mem.ConfigTiny()
+		h := mem.New(cfg, 1<<20)
+		var now, demands uint64
+		err := testkit.NoPanic(func() {
+			for i := 0; i < int(n%4096); i++ {
+				now += uint64(r.Intn(50))
+				addr := int64(r.Uint64() % (1 << 22))
+				if r.Intn(8) == 0 {
+					addr = -addr
+				}
+				pc := uint64(r.Intn(16) * 4)
+				kind := mem.Kind(r.Intn(2))
+				if r.Intn(5) == 0 {
+					kind = mem.KindSWPrefetch
+				}
+				res := h.Access(now, pc, addr, kind)
+				if kind == mem.KindLoad || kind == mem.KindStore {
+					demands++
+					if res.Latency < 1 || res.Latency > 1_000_000 {
+						panic("demand latency out of range")
+					}
+				}
+				if h.InFlight() > cfg.FillBuffers {
+					panic("fill-buffer occupancy exceeds FillBuffers")
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Stats.DemandAccesses != demands {
+			t.Fatalf("DemandAccesses = %d, want %d", h.Stats.DemandAccesses, demands)
+		}
+		var hits uint64
+		for _, c := range h.Stats.Hits {
+			hits += c
+		}
+		if hits != demands {
+			t.Fatalf("sum(Hits) = %d, want %d (every demand must be served by exactly one level)",
+				hits, demands)
+		}
+	})
+}

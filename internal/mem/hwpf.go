@@ -60,9 +60,12 @@ func (p *stridePrefetcher) observe(pc uint64, addr int64) []int64 {
 	if e.confidence < strideConfidenceFire {
 		return nil
 	}
+	// Degree d covers the next d accesses of the stream: addr+stride
+	// through addr+stride*d. Firing at stride*(k+1) would leave the very
+	// next access (addr+stride) permanently uncovered.
 	targets := make([]int64, 0, p.degree)
 	for k := 1; k <= p.degree; k++ {
-		t := addr + stride*int64(k+1)
+		t := addr + stride*int64(k)
 		if t >= 0 {
 			targets = append(targets, t)
 		}

@@ -87,6 +87,14 @@ type PlanRecord struct {
 	LatencySamples      int `json:"latency_samples"`
 	DroppedNonMonotonic int `json:"dropped_non_monotonic,omitempty"`
 
+	// Histogram robustness counters: outliers clamped into the top bin
+	// by the bin-count cap, NaN/±Inf samples dropped, and whether the
+	// latency span hit the cap outright (degenerate distribution — the
+	// plan fell back to distance 1).
+	HistClampedOutliers  int  `json:"histogram_clamped_outliers,omitempty"`
+	HistDroppedNonFinite int  `json:"histogram_dropped_nonfinite,omitempty"`
+	HistDegenerateSpan   bool `json:"histogram_degenerate_span,omitempty"`
+
 	// Fallback is the §3.6 fallback reason, empty when the analytical
 	// model applied cleanly.
 	Fallback string `json:"fallback,omitempty"`

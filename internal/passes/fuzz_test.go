@@ -1,0 +1,68 @@
+package passes_test
+
+import (
+	"testing"
+
+	"aptget/internal/cpu"
+	"aptget/internal/ir"
+	"aptget/internal/mem"
+	"aptget/internal/passes"
+	"aptget/internal/testkit"
+)
+
+// FuzzInject: for any generated program (all five loop shapes) and any
+// distance, prefetch injection must keep the IR structurally valid and
+// must not change program semantics — prefetches are hints, so the
+// injected program's output checksum must equal the baseline's. A
+// refused injection must also leave the IR valid.
+func FuzzInject(f *testing.F) {
+	f.Add(uint64(1), int64(7), false)
+	f.Add(uint64(4), int64(300), true)
+	f.Add(uint64(23), int64(-9), true)
+	f.Add(uint64(57), int64(1), false)
+	f.Fuzz(func(t *testing.T, seed uint64, distance int64, outer bool) {
+		distance = ((distance % 512) + 512) % 512
+		if distance == 0 {
+			distance = 1
+		}
+		g := testkit.Program(testkit.NewRNG(seed))
+		base, err := cpu.Run(g.P, mem.ConfigTiny(), cpu.Options{InitMem: g.Init})
+		if err != nil {
+			t.Fatalf("seed %d (%s): baseline run: %v", seed, g.Shape, err)
+		}
+		baseSum := base.Hier.Arena.Read(g.Out.Addr(0), 8)
+
+		forest := ir.AnalyzeLoops(g.P.Func)
+		s, ok := passes.ExtractSlice(g.P.Func, forest, g.Load)
+		if !ok {
+			return // chain escapes the supported shape — nothing to inject
+		}
+		var injected int
+		injectErr := testkit.NoPanic(func() {
+			if outer {
+				injected, err = passes.InjectOuter(g.P.Func, forest, s, distance, 4)
+			} else {
+				injected, err = passes.InjectInner(g.P.Func, forest, s, distance)
+			}
+		})
+		if injectErr != nil {
+			t.Fatalf("seed %d (%s): inject panicked: %v", seed, g.Shape, injectErr)
+		}
+		// Refused or not, the IR must still validate.
+		if verr := testkit.CheckProgram(g.P); verr != nil {
+			t.Fatalf("seed %d (%s): IR invalid after inject (err=%v): %v", seed, g.Shape, err, verr)
+		}
+		if err != nil || injected == 0 {
+			return
+		}
+		inj, runErr := cpu.Run(g.P, mem.ConfigTiny(), cpu.Options{InitMem: g.Init})
+		if runErr != nil {
+			t.Fatalf("seed %d (%s): injected run (distance %d, outer=%v): %v",
+				seed, g.Shape, distance, outer, runErr)
+		}
+		if injSum := inj.Hier.Arena.Read(g.Out.Addr(0), 8); injSum != baseSum {
+			t.Fatalf("seed %d (%s): injection changed semantics: checksum %d -> %d (distance %d, outer=%v)",
+				seed, g.Shape, baseSum, injSum, distance, outer)
+		}
+	})
+}

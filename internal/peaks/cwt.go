@@ -263,11 +263,15 @@ func FindPeaksCWT(signal []float64, widths []int, opt Options) []int {
 		if strength <= 0 {
 			continue
 		}
+		// Symmetric window [pos-W, pos+W], inclusive on both sides like
+		// scipy's — slicing to pos+W would include pos-W on the left but
+		// exclude pos+W on the right, skewing the noise floor of peaks
+		// near the right edge.
 		lo := pos - opt.WindowSize
 		if lo < 0 {
 			lo = 0
 		}
-		hi := pos + opt.WindowSize
+		hi := pos + opt.WindowSize + 1
 		if hi > len(row0) {
 			hi = len(row0)
 		}
@@ -321,6 +325,13 @@ func percentile(values []float64, p float64) float64 {
 	}
 	cp := append([]float64(nil), values...)
 	sortFloats(cp)
+	return sortedPercentile(cp, p)
+}
+
+// sortedPercentile returns the p-th percentile (0–100) of an
+// already-sorted, non-empty slice by linear interpolation between the
+// closest ranks.
+func sortedPercentile(cp []float64, p float64) float64 {
 	if p <= 0 {
 		return cp[0]
 	}

@@ -1,0 +1,91 @@
+package peaks
+
+import (
+	"math"
+	"testing"
+
+	"aptget/internal/testkit"
+)
+
+// FuzzFindPeaksCWT drives histogram construction and CWT peak detection
+// with adversarial latency populations (outliers, NaN/Inf, constants)
+// and raw bit-pattern signals. Invariants: no panic, the bin cap holds,
+// and peak indices are strictly ascending within the signal range.
+func FuzzFindPeaksCWT(f *testing.F) {
+	f.Add(uint64(1), uint(500), uint(4), 2.0)
+	f.Add(uint64(99), uint(0), uint(0), 0.0)
+	f.Add(uint64(7), uint(1500), uint(31), 1e-9)
+	f.Add(uint64(13), uint(64), uint(3), math.Inf(1))
+	f.Fuzz(func(t *testing.T, seed uint64, count, maxWidth uint, binWidth float64) {
+		r := testkit.NewRNG(seed)
+		lats := testkit.Latencies(r, int(count%2000), true)
+		widths := DefaultWidths(int(maxWidth % 32))
+
+		var h *Histogram
+		if err := testkit.NoPanic(func() { h = NewHistogram(lats, binWidth) }); err != nil {
+			t.Fatal(err)
+		}
+		if len(h.Counts) > MaxBins {
+			t.Fatalf("bin cap violated: %d bins", len(h.Counts))
+		}
+		var idx []int
+		if err := testkit.NoPanic(func() { idx = FindPeaksCWT(h.Counts, widths, Options{}) }); err != nil {
+			t.Fatal(err)
+		}
+		if err := testkit.CheckSortedUnique(idx, len(h.Counts)); err != nil {
+			t.Fatal(err)
+		}
+
+		// Raw bit-pattern signal — NaN/Inf bins straight into the CWT.
+		sig := make([]float64, count%512)
+		for i := range sig {
+			sig[i] = math.Float64frombits(r.Uint64())
+		}
+		if err := testkit.NoPanic(func() { idx = FindPeaksCWT(sig, widths, Options{}) }); err != nil {
+			t.Fatal(err)
+		}
+		if err := testkit.CheckSortedUnique(idx, len(sig)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestPeakStabilityUnderBinJitter: the positions of well-separated,
+// well-populated latency modes must not move by more than a few cycles
+// when the histogram bin width jitters — the analysis must not owe its
+// IC/MC split to a lucky binning.
+func TestPeakStabilityUnderBinJitter(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		r := testkit.NewRNG(seed)
+		lats := make([]float64, 0, 4000)
+		for i := 0; i < 4000; i++ {
+			c := 60.0
+			if i%2 == 1 {
+				c = 280.0
+			}
+			v := c + r.Norm()*4
+			if v < 0 {
+				v = 0
+			}
+			lats = append(lats, v)
+		}
+		var ref []float64
+		for _, bw := range []float64{1.0, 1.25, 1.5, 2.0} {
+			h := NewHistogram(lats, bw)
+			ps := h.Peaks(0, Options{})
+			if len(ps) != 2 {
+				t.Fatalf("seed %d bw %g: got %d peaks %v, want 2", seed, bw, len(ps), ps)
+			}
+			if ref == nil {
+				ref = ps
+				continue
+			}
+			for i := range ps {
+				if math.Abs(ps[i]-ref[i]) > 6 {
+					t.Fatalf("seed %d bw %g: peak %d moved %g -> %g under bin jitter",
+						seed, bw, i, ref[i], ps[i])
+				}
+			}
+		}
+	}
+}

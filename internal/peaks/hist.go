@@ -7,21 +7,51 @@ import (
 	"strings"
 )
 
+// MaxBins caps the bin count of a histogram. Latency distributions of
+// real loops span at most thousands of cycles, so the cap is far above
+// anything a healthy profile produces — but a single wrapped-LBR outlier
+// (a ~1e18-cycle "latency") would otherwise turn the derived bin count
+// into a multi-gigabyte allocation, or overflow the int conversion into
+// a negative make size. Samples beyond the capped range are clamped into
+// the top bin and counted, the §3.6 graceful-degradation contract.
+const MaxBins = 1 << 16
+
+// MaxAutoWidth caps the wavelet width ladder Peaks derives from the bin
+// count (the CWT's cost is roughly bins × widths²).
+const MaxAutoWidth = 128
+
 // Histogram bins scalar observations (loop latencies in cycles).
 type Histogram struct {
 	BinWidth float64
 	Min      float64
 	Counts   []float64
+
+	// ClampedOutliers counts samples beyond the MaxBins range cap that
+	// were clamped into the top bin instead of growing the histogram.
+	ClampedOutliers int
+	// DroppedNonFinite counts NaN/±Inf samples dropped outright: they
+	// have no bin, and one NaN would otherwise poison the range.
+	DroppedNonFinite int
 }
 
 // NewHistogram bins the samples with the given bin width. The range is
-// derived from the data.
+// derived from the finite samples, capped at MaxBins bins.
 func NewHistogram(samples []float64, binWidth float64) *Histogram {
-	if len(samples) == 0 || binWidth <= 0 {
-		return &Histogram{BinWidth: binWidth}
+	h := &Histogram{BinWidth: binWidth}
+	if binWidth <= 0 || math.IsNaN(binWidth) {
+		return h
 	}
-	lo, hi := samples[0], samples[0]
+	var lo, hi float64
+	first := true
 	for _, s := range samples {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			h.DroppedNonFinite++
+			continue
+		}
+		if first {
+			lo, hi = s, s
+			first = false
+		}
 		if s < lo {
 			lo = s
 		}
@@ -29,10 +59,31 @@ func NewHistogram(samples []float64, binWidth float64) *Histogram {
 			hi = s
 		}
 	}
-	n := int((hi-lo)/binWidth) + 1
-	h := &Histogram{BinWidth: binWidth, Min: lo, Counts: make([]float64, n)}
+	if first {
+		return h
+	}
+	h.Min = lo
+	n := MaxBins
+	if span := (hi - lo) / binWidth; span < float64(MaxBins-1) {
+		n = int(span) + 1
+	}
+	h.Counts = make([]float64, n)
 	for _, s := range samples {
-		h.Counts[int((s-lo)/binWidth)]++
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			continue
+		}
+		// Compare in float space before converting: int() of an
+		// out-of-range float (a 1e300 offset) is undefined and lands
+		// negative on amd64, which would clamp the outlier into bin 0
+		// uncounted.
+		idx := 0
+		if off := (s - lo) / binWidth; off >= float64(n) {
+			idx = n - 1
+			h.ClampedOutliers++
+		} else if off > 0 {
+			idx = int(off)
+		}
+		h.Counts[idx]++
 	}
 	return h
 }
@@ -77,6 +128,14 @@ func (h *Histogram) Peaks(maxWidth int, opt Options) []float64 {
 	}
 	if maxWidth <= 0 {
 		maxWidth = len(h.Counts) / 8
+		// Healthy loop-latency histograms span a few hundred bins, so
+		// the derived ladder stays well under this cap. An
+		// outlier-stretched histogram near MaxBins would otherwise
+		// derive thousands of widths and turn the CWT quadratic —
+		// minutes of work for a distribution that carries no signal.
+		if maxWidth > MaxAutoWidth {
+			maxWidth = MaxAutoWidth
+		}
 	}
 	if maxWidth < 2 {
 		maxWidth = 2
@@ -130,17 +189,15 @@ func Summarize(samples []float64) Summary {
 	for _, v := range cp {
 		sum += v
 	}
-	q := func(p float64) float64 {
-		i := int(p * float64(len(cp)-1))
-		return cp[i]
-	}
+	// Linear interpolation between the closest ranks — truncating to
+	// cp[int(p*(len-1))] would report P50 of [1,2] as 1.
 	return Summary{
 		N:    len(cp),
 		Mean: sum / float64(len(cp)),
 		Min:  cp[0],
 		Max:  cp[len(cp)-1],
-		P50:  q(0.5),
-		P90:  q(0.9),
-		P99:  q(0.99),
+		P50:  sortedPercentile(cp, 50),
+		P90:  sortedPercentile(cp, 90),
+		P99:  sortedPercentile(cp, 99),
 	}
 }

@@ -1,0 +1,141 @@
+package peaks
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramOutlierCap: a single wrapped-LBR outlier (~1e18 cycles)
+// must not drive the bin count — pre-fix it turned into an exabyte
+// allocation (or, at 1e300, overflowed the float→int conversion into a
+// negative make size). The outlier is clamped into the top bin and
+// counted; no sample is lost.
+func TestHistogramOutlierCap(t *testing.T) {
+	samples := make([]float64, 0, 1001)
+	for i := 0; i < 1000; i++ {
+		samples = append(samples, 100+float64(i%37))
+	}
+	samples = append(samples, 1e18)
+
+	h := NewHistogram(samples, 1.0)
+	if len(h.Counts) > MaxBins {
+		t.Fatalf("bin count %d exceeds MaxBins %d", len(h.Counts), MaxBins)
+	}
+	if h.ClampedOutliers != 1 {
+		t.Fatalf("ClampedOutliers = %d, want 1", h.ClampedOutliers)
+	}
+	if got := h.Total(); got != float64(len(samples)) {
+		t.Fatalf("Total() = %g, want %d (clamping must not drop samples)", got, len(samples))
+	}
+	if h.Counts[len(h.Counts)-1] != 1 {
+		t.Fatalf("top bin holds %g samples, want the 1 clamped outlier", h.Counts[len(h.Counts)-1])
+	}
+
+	// 1e300 span: pre-fix the float→int conversion was undefined and
+	// produced a negative make size.
+	h = NewHistogram([]float64{0, 1e300}, 1.0)
+	if len(h.Counts) != MaxBins || h.ClampedOutliers != 1 {
+		t.Fatalf("1e300 span: bins=%d clamped=%d, want %d and 1", len(h.Counts), h.ClampedOutliers, MaxBins)
+	}
+}
+
+// TestHistogramNonFinite: NaN/±Inf samples have no bin and would poison
+// the derived range; they are dropped and counted.
+func TestHistogramNonFinite(t *testing.T) {
+	h := NewHistogram([]float64{10, math.NaN(), 12, math.Inf(1), 11, math.Inf(-1)}, 1.0)
+	if h.DroppedNonFinite != 3 {
+		t.Fatalf("DroppedNonFinite = %d, want 3", h.DroppedNonFinite)
+	}
+	if got := h.Total(); got != 3 {
+		t.Fatalf("Total() = %g, want 3 finite samples", got)
+	}
+	if h.Min != 10 {
+		t.Fatalf("Min = %g, want 10 (non-finite must not perturb the range)", h.Min)
+	}
+
+	// All-degenerate inputs yield an empty histogram, not a crash.
+	for _, bad := range [][]float64{nil, {math.NaN()}, {math.Inf(1), math.Inf(-1)}} {
+		if h := NewHistogram(bad, 1.0); len(h.Counts) != 0 {
+			t.Fatalf("degenerate input %v produced %d bins", bad, len(h.Counts))
+		}
+	}
+	if h := NewHistogram([]float64{1, 2}, math.NaN()); len(h.Counts) != 0 {
+		t.Fatal("NaN bin width produced bins")
+	}
+}
+
+// TestSummarizeEvenLength: quantiles must interpolate between the
+// closest ranks — truncating to a single element reports P50 of [1,2]
+// as 1.
+func TestSummarizeEvenLength(t *testing.T) {
+	if got := Summarize([]float64{1, 2}).P50; got != 1.5 {
+		t.Fatalf("P50 of [1,2] = %g, want 1.5", got)
+	}
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.P50 != 2.5 {
+		t.Fatalf("P50 of [1,2,3,4] = %g, want 2.5", s.P50)
+	}
+	if s.P90 != 3.7 {
+		t.Fatalf("P90 of [1,2,3,4] = %g, want 3.7", s.P90)
+	}
+	// Odd lengths hit an exact rank and must be unchanged by the fix.
+	if got := Summarize([]float64{1, 2, 3}).P50; got != 2 {
+		t.Fatalf("P50 of [1,2,3] = %g, want 2", got)
+	}
+}
+
+// TestNoiseWindowInclusive: the SNR noise window must be symmetric and
+// inclusive, [pos-W, pos+W], like scipy's. The pre-fix slice row0[lo :
+// pos+W] excluded the right endpoint, so a noise feature sitting exactly
+// at pos+W was invisible to the noise floor and the peak's SNR was
+// overestimated.
+//
+// The test self-calibrates: it computes the noise floor (NoisePerc=100 →
+// window max) with and without the right endpoint, verifies the crafted
+// signal makes them differ, and picks a MinSNR strictly between the two
+// resulting SNRs. The fixed code must then reject the peak; the pre-fix
+// code accepted it.
+func TestNoiseWindowInclusive(t *testing.T) {
+	const n, pos, w = 64, 40, 6
+	sig := make([]float64, n)
+	for i := range sig {
+		x := float64(i - pos)
+		sig[i] = 50 * math.Exp(-x*x/(2*9))
+	}
+	sig[pos+w] += 40 // sharp feature exactly at the window's right edge
+
+	widths := DefaultWidths(4)
+	cwt := CWT(sig, widths)
+	row0 := make([]float64, n)
+	for i, v := range cwt[0] {
+		row0[i] = math.Abs(v)
+	}
+	maxIn := func(lo, hi int) float64 {
+		m := 0.0
+		for i := lo; i < hi; i++ {
+			if row0[i] > m {
+				m = row0[i]
+			}
+		}
+		return m
+	}
+	noiseExcl := maxIn(pos-w, pos+w)   // pre-fix window
+	noiseIncl := maxIn(pos-w, pos+w+1) // fixed window
+	if noiseIncl <= noiseExcl {
+		t.Fatalf("signal not discriminating: incl %g <= excl %g", noiseIncl, noiseExcl)
+	}
+	// The ridge origin for this single smooth peak is the coarse-scale
+	// response at pos.
+	strength := cwt[len(widths)-1][pos]
+	snr := (strength/noiseExcl + strength/noiseIncl) / 2
+
+	got := FindPeaksCWT(sig, widths, Options{
+		WindowSize: w, NoisePerc: 100, MinSNR: snr, MinRelStrength: -1,
+	})
+	for _, p := range got {
+		if p >= pos-2 && p <= pos+2 {
+			t.Fatalf("peak at %d passed SNR %g: the right window endpoint (row0[pos+W]=%g) was not counted as noise",
+				p, snr, row0[pos+w])
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package runner_test
+
+import (
+	"fmt"
+	"testing"
+
+	"aptget/internal/runner"
+	"aptget/internal/testkit"
+)
+
+// TestMapErrorDeterminismProperty: for random job counts and random
+// failing subsets, Map must report the lowest-index failure at every
+// worker width — the same error a serial loop would have returned, so a
+// sweep's failure behaviour cannot depend on scheduling.
+func TestMapErrorDeterminismProperty(t *testing.T) {
+	for seed := uint64(0); seed < 25; seed++ {
+		r := testkit.NewRNG(seed)
+		n := 1 + r.Intn(50)
+		failing := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			if r.Intn(4) == 0 {
+				failing[i] = true
+			}
+		}
+		wantIdx := -1
+		for i := 0; i < n; i++ {
+			if failing[i] {
+				wantIdx = i
+				break
+			}
+		}
+		var wantResults []int
+		if wantIdx == -1 {
+			for i := 0; i < n; i++ {
+				wantResults = append(wantResults, i*i)
+			}
+		}
+		for _, workers := range []int{1, 2, 4, 8, 16} {
+			prev := runner.SetMaxWorkers(workers)
+			out, err := runner.Map(n, func(i int) (int, error) {
+				if failing[i] {
+					return 0, fmt.Errorf("job %d failed", i)
+				}
+				return i * i, nil
+			})
+			runner.SetMaxWorkers(prev)
+			if wantIdx == -1 {
+				if err != nil {
+					t.Fatalf("seed %d workers %d: unexpected error %v", seed, workers, err)
+				}
+				for i := range wantResults {
+					if out[i] != wantResults[i] {
+						t.Fatalf("seed %d workers %d: result %d = %d, want %d",
+							seed, workers, i, out[i], wantResults[i])
+					}
+				}
+				continue
+			}
+			want := fmt.Sprintf("job %d failed", wantIdx)
+			if err == nil || err.Error() != want {
+				t.Fatalf("seed %d workers %d: error %v, want %q (lowest failing index)",
+					seed, workers, err, want)
+			}
+		}
+	}
+}

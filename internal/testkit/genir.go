@@ -1,0 +1,184 @@
+package testkit
+
+import (
+	"fmt"
+
+	"aptget/internal/ir"
+	"aptget/internal/mem"
+)
+
+// Prog is one generated workload: a valid IR program with a designated
+// irregular load inside a loop, a one-element result array holding the
+// program's checksum, and a deterministic memory initializer. Running
+// the program (with Init applied) and reading Out yields a value that
+// any semantics-preserving transformation — prefetch injection above
+// all — must leave unchanged.
+type Prog struct {
+	Shape string      // generator shape name (debugging fuzz crashes)
+	P     *ir.Program // valid program (ir.Func.Validate passes)
+	Load  ir.Value    // the designated in-loop load (injection target)
+	Out   ir.Array    // single-element checksum array
+	Init  func(*mem.Arena)
+}
+
+// Program generates one random workload. The same RNG state always
+// yields the same program, byte for byte. Shapes cover the paper's
+// catalogue: direct streams, single and double indirection chains
+// (A[B[i]], A[B2[B[i]]]), nested loops whose address mixes both
+// induction variables, and non-affine induction recurrences (§3.5).
+//
+// Every generated loop either has a recognizable constant bound (so the
+// injection pass's Listing-4 clamp keeps advanced induction values in
+// range) or masks the induction value into range inside the address
+// chain; a trailing slack array additionally absorbs the few
+// elements an outer-site sweep can read past an array's end, the way
+// allocation slack does for the real pass.
+func Program(r *RNG) *Prog {
+	shape := r.Intn(5)
+	n := int64(16 + r.Intn(112)) // outer trip count
+	k := int64(2 + r.Intn(14))   // inner trip count
+	m := int64(32 + r.Intn(224)) // data elements
+	seed := r.Uint64()           // private stream for Init
+
+	g := &Prog{}
+	b := ir.NewBuilder(fmt.Sprintf("testkit.shape%d", shape))
+	out := b.Alloc("out", 1, 8)
+	g.Out = out
+
+	// out[0] += v, the per-iteration checksum accumulation.
+	accumulate := func(v ir.Value) {
+		addr := b.Index(out, b.Const(0))
+		b.StoreElem(out, b.Const(0), b.Add(b.Load(addr, 8), v))
+	}
+
+	switch shape {
+	case 0: // direct stream: out += data[i]
+		g.Shape = "direct"
+		data := b.Alloc("data", n, 8)
+		b.Loop("i", b.Const(0), b.Const(n), 1, func(iv ir.Value) {
+			v := b.Named(b.LoadElem(data, iv), "direct")
+			g.Load = v
+			accumulate(v)
+		})
+		g.Init = func(a *mem.Arena) {
+			ir2 := NewRNG(seed)
+			fillRandom(a, data, ir2, 1<<32)
+		}
+
+	case 1: // single indirection: out += data[idx[i]]
+		g.Shape = "indirect"
+		idx := b.Alloc("idx", n, 8)
+		data := b.Alloc("data", m, 8)
+		b.Loop("i", b.Const(0), b.Const(n), 1, func(iv ir.Value) {
+			j := b.LoadElem(idx, iv)
+			v := b.Named(b.LoadElem(data, j), "indirect")
+			g.Load = v
+			accumulate(v)
+		})
+		g.Init = func(a *mem.Arena) {
+			ir2 := NewRNG(seed)
+			fillIndex(a, idx, ir2, m)
+			fillRandom(a, data, ir2, 1<<32)
+		}
+
+	case 2: // nested: out += data[idx[i*k+j]] — both IVs in the slice
+		g.Shape = "nested"
+		idx := b.Alloc("idx", n*k, 8)
+		data := b.Alloc("data", m, 8)
+		kc := b.Const(k)
+		b.Loop("i", b.Const(0), b.Const(n), 1, func(oi ir.Value) {
+			b.Loop("j", b.Const(0), kc, 1, func(ji ir.Value) {
+				t := b.Add(b.Mul(oi, kc), ji)
+				u := b.LoadElem(idx, t)
+				v := b.Named(b.LoadElem(data, u), "nested")
+				g.Load = v
+				accumulate(v)
+			})
+		})
+		g.Init = func(a *mem.Arena) {
+			ir2 := NewRNG(seed)
+			fillIndex(a, idx, ir2, m)
+			fillRandom(a, data, ir2, 1<<32)
+		}
+
+	case 3: // non-affine IV (iv' = 2·iv + 1), masked into range
+		g.Shape = "nonaffine"
+		np := powTwoAtLeast(n) // mask requires a power-of-two table
+		idx := b.Alloc("idx", np, 8)
+		data := b.Alloc("data", m, 8)
+		mask := b.Const(np - 1)
+		bound := b.Const(n * 4)
+		b.LoopCustom("i", b.Const(1),
+			func(iv ir.Value) ir.Value { return b.Add(b.Mul(iv, b.Const(2)), b.Const(1)) },
+			func(next ir.Value) ir.Value { return b.Cmp(ir.PredLT, next, bound) },
+			func(iv ir.Value) ir.Value { return b.Cmp(ir.PredLT, iv, bound) },
+			func(iv ir.Value) {
+				j := b.LoadElem(idx, b.And(iv, mask))
+				v := b.Named(b.LoadElem(data, j), "nonaffine")
+				g.Load = v
+				accumulate(v)
+			})
+		g.Init = func(a *mem.Arena) {
+			ir2 := NewRNG(seed)
+			fillIndex(a, idx, ir2, m)
+			fillRandom(a, data, ir2, 1<<32)
+		}
+
+	case 4: // double indirection: out += data[idx2[idx[i]]]
+		g.Shape = "double"
+		idx := b.Alloc("idx", n, 8)
+		idx2 := b.Alloc("idx2", m, 8)
+		data := b.Alloc("data", m, 8)
+		b.Loop("i", b.Const(0), b.Const(n), 1, func(iv ir.Value) {
+			j := b.LoadElem(idx, iv)
+			u := b.LoadElem(idx2, j)
+			v := b.Named(b.LoadElem(data, u), "double")
+			g.Load = v
+			accumulate(v)
+		})
+		g.Init = func(a *mem.Arena) {
+			ir2 := NewRNG(seed)
+			fillIndex(a, idx, ir2, m)
+			fillIndex(a, idx2, ir2, m)
+			fillRandom(a, data, ir2, 1<<32)
+		}
+	}
+
+	// Slack absorbs the few past-the-end elements an outer-site sweep's
+	// cloned address loads can touch (their values only feed prefetch
+	// addresses, which the CPU bounds-checks and drops).
+	b.Alloc("slack", 1024, 8)
+	return finishProg(g, b)
+}
+
+func finishProg(g *Prog, b *ir.Builder) *Prog {
+	g.P = b.Finish()
+	if err := g.P.Func.Validate(); err != nil {
+		// A generator bug, not an input property: fail loudly.
+		panic("testkit: generated invalid program: " + err.Error())
+	}
+	return g
+}
+
+func powTwoAtLeast(n int64) int64 {
+	p := int64(1)
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// fillIndex fills arr with values in [0, bound).
+func fillIndex(a *mem.Arena, arr ir.Array, r *RNG, bound int64) {
+	for i := int64(0); i < arr.Count; i++ {
+		a.Write(arr.Addr(i), r.Int63n(bound), 8)
+	}
+}
+
+// fillRandom fills arr with values in [0, bound) — kept small so a
+// thousand-element checksum cannot overflow int64.
+func fillRandom(a *mem.Arena, arr ir.Array, r *RNG, bound int64) {
+	for i := int64(0); i < arr.Count; i++ {
+		a.Write(arr.Addr(i), r.Int63n(bound), 8)
+	}
+}

@@ -1,0 +1,104 @@
+package testkit
+
+import (
+	"math"
+
+	"aptget/internal/lbr"
+)
+
+// Samples generates count adversarial LBR snapshots over the given latch
+// and breaker branch PCs. The stream deliberately contains everything
+// §3.6 warns about and worse:
+//
+//   - wrapped cycle stamps (a later entry's cycle below an earlier one);
+//   - duplicate stamps (two branches retiring in the same cycle);
+//   - truncated snapshots (fewer entries than the ring width, including
+//     empty ones);
+//   - interleaved latches: breaker PCs and unrelated noise branches mixed
+//     between latch occurrences;
+//   - occasional giant cycle jumps (quiet phases between samples).
+//
+// The output is valid lbr.Sample data — the adversity is in the values,
+// not in malformed structure.
+func Samples(r *RNG, latch, breakers []uint64, count int) []lbr.Sample {
+	noise := []uint64{7, 1009, 4242, 90001}
+	out := make([]lbr.Sample, 0, count)
+	for s := 0; s < count; s++ {
+		nEntries := r.Intn(lbr.Width + 1) // 0..32: truncated and full rings
+		cycle := uint64(r.Intn(1 << 20))
+		entries := make([]lbr.Entry, 0, nEntries)
+		for e := 0; e < nEntries; e++ {
+			switch r.Intn(10) {
+			case 0: // wrap / out-of-order: stamp falls backwards
+				back := uint64(1 + r.Intn(1<<16))
+				if back > cycle {
+					cycle = 0
+				} else {
+					cycle -= back
+				}
+			case 1: // duplicate stamp: no advance
+			case 2: // quiet phase: giant jump
+				cycle += uint64(1 << (20 + r.Intn(8)))
+			default:
+				cycle += uint64(1 + r.Intn(500))
+			}
+			var from uint64
+			switch pick := r.Intn(10); {
+			case pick < 5 && len(latch) > 0:
+				from = latch[r.Intn(len(latch))]
+			case pick < 7 && len(breakers) > 0:
+				from = breakers[r.Intn(len(breakers))]
+			default:
+				from = noise[r.Intn(len(noise))]
+			}
+			entries = append(entries, lbr.Entry{From: from, To: from + 1, Cycle: cycle})
+		}
+		out = append(out, lbr.Sample{Cycle: cycle, Entries: entries})
+	}
+	return out
+}
+
+// Latencies produces an adversarial latency sample set of length count:
+// a mixture of up to three normal modes, with a slice of the samples
+// replaced by degenerate values — constants, zero, huge outliers (up to
+// 1e18 cycles), and, when allowNonFinite is set, NaN and ±Inf. This is
+// the input family that must never make peaks.NewHistogram allocate
+// gigabytes or panic.
+func Latencies(r *RNG, count int, allowNonFinite bool) []float64 {
+	nModes := 1 + r.Intn(3)
+	centers := make([]float64, nModes)
+	widths := make([]float64, nModes)
+	for i := range centers {
+		centers[i] = 20 + r.Float64()*600
+		widths[i] = 1 + r.Float64()*20
+	}
+	out := make([]float64, 0, count)
+	for i := 0; i < count; i++ {
+		mode := r.Intn(nModes)
+		v := centers[mode] + r.Norm()*widths[mode]
+		if v < 0 {
+			v = 0
+		}
+		switch r.Intn(40) {
+		case 0:
+			v = 0
+		case 1:
+			v = 1e12 + r.Float64()*1e18 // the stray-outlier satellite case
+		case 2:
+			v = centers[0] // exact constant run
+		case 3:
+			if allowNonFinite {
+				switch r.Intn(3) {
+				case 0:
+					v = math.NaN()
+				case 1:
+					v = math.Inf(1)
+				default:
+					v = math.Inf(-1)
+				}
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package testkit
+
+import (
+	"fmt"
+
+	"aptget/internal/ir"
+)
+
+// NoPanic runs fn and converts any panic into an error carrying the
+// panic value. The pipeline's robustness contract is "malformed profiles
+// degrade, they never crash" — this is the checker fuzz targets wrap
+// every stage call in.
+func NoPanic(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// CheckProgram asserts structural IR validity — the invariant every
+// injection must preserve (a transformed program that no longer
+// validates would be a silent miscompile).
+func CheckProgram(p *ir.Program) error {
+	if p == nil || p.Func == nil {
+		return fmt.Errorf("testkit: nil program")
+	}
+	return p.Func.Validate()
+}
+
+// CheckDistance asserts a computed prefetch distance lies in
+// [1, max] — the Equation (1) clamp the analysis promises.
+func CheckDistance(d, max int64) error {
+	if d < 1 || d > max {
+		return fmt.Errorf("testkit: distance %d outside [1, %d]", d, max)
+	}
+	return nil
+}
+
+// CheckFinite asserts every value is a finite, non-negative latency —
+// what the analysis hands the histogram after cleaning a profile.
+func CheckFinite(values []float64) error {
+	for i, v := range values {
+		if v != v { // NaN
+			return fmt.Errorf("testkit: value %d is NaN", i)
+		}
+		if v < 0 {
+			return fmt.Errorf("testkit: value %d is negative (%g)", i, v)
+		}
+		const maxFinite = 1.7976931348623157e308
+		if v > maxFinite {
+			return fmt.Errorf("testkit: value %d is +Inf", i)
+		}
+	}
+	return nil
+}
+
+// CheckSortedUnique asserts peak indices are strictly ascending and in
+// [0, n) — the FindPeaksCWT output contract.
+func CheckSortedUnique(idx []int, n int) error {
+	for i, p := range idx {
+		if p < 0 || p >= n {
+			return fmt.Errorf("testkit: peak %d at %d outside [0, %d)", i, p, n)
+		}
+		if i > 0 && p <= idx[i-1] {
+			return fmt.Errorf("testkit: peaks not strictly ascending at %d (%d after %d)", i, p, idx[i-1])
+		}
+	}
+	return nil
+}

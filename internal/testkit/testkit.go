@@ -1,0 +1,79 @@
+// Package testkit is the property-based testing and fuzzing subsystem
+// behind the pipeline's robustness guarantees. APT-GET's value rests on
+// surviving degenerate hardware profiles (§3.6 of the paper catalogues
+// the fallbacks: LBR overflow, too-few samples, unimodal distributions),
+// so this package provides deterministic random generators for the three
+// adversarial input families the pipeline consumes —
+//
+//   - IR programs: nested loops, indirection chains, non-affine
+//     induction variables (Programs);
+//   - LBR samples: wrapped and out-of-order cycle stamps, truncated
+//     snapshots, interleaved latch/breaker branches (Samples);
+//   - latency sample sets: outliers, constants, bimodal mixtures,
+//     non-finite values (Latencies);
+//
+// plus pipeline-wide invariant checkers (NoPanic, CheckProgram,
+// CheckDistance) used by the native fuzz targets in internal/peaks,
+// internal/analysis, internal/passes and internal/mem.
+//
+// Everything is seed-deterministic: the same seed always yields the same
+// program, sample set or latency vector, so a fuzz crash reproduces from
+// its corpus entry alone and property tests need no golden files.
+//
+// The package deliberately imports only the leaf layers (ir, lbr, mem),
+// so the analysis/passes packages' own test files can import it without
+// cycles.
+package testkit
+
+// RNG is a deterministic splitmix64 generator. It is intentionally not
+// math/rand: the stream is pinned by this file, so fuzz corpus entries
+// and property-test seeds stay reproducible across Go releases.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next value of the splitmix64 stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("testkit: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a value in [0, n). n must be positive.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("testkit: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin flip.
+func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Norm returns an approximately standard-normal value (sum of 4 uniforms,
+// Irwin–Hall; cheap, deterministic, and tail-light — exactly what latency
+// mixtures need, no math import required).
+func (r *RNG) Norm() float64 {
+	s := r.Float64() + r.Float64() + r.Float64() + r.Float64()
+	return (s - 2) * 1.7320508075688772 // scale var 4/12 up to 1
+}

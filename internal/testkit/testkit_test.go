@@ -1,0 +1,156 @@
+package testkit_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"aptget/internal/cpu"
+	"aptget/internal/ir"
+	"aptget/internal/lbr"
+	"aptget/internal/mem"
+	"aptget/internal/testkit"
+)
+
+// TestRNGDeterminism pins the splitmix64 stream: corpus reproducibility
+// depends on it never changing.
+func TestRNGDeterminism(t *testing.T) {
+	a, b := testkit.NewRNG(42), testkit.NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+	// First value of seed 0 per the splitmix64 reference constants.
+	if got := testkit.NewRNG(0).Uint64(); got != 0xe220a8397b1dcdaf {
+		t.Fatalf("splitmix64(0) = %#x, want 0xe220a8397b1dcdaf", got)
+	}
+}
+
+// TestProgramsValidAndExecutable sweeps seeds: every generated program
+// must validate, execute to completion, produce a deterministic
+// checksum, and carry a load inside a loop (the injection contract).
+func TestProgramsValidAndExecutable(t *testing.T) {
+	shapes := map[string]bool{}
+	for seed := uint64(0); seed < 60; seed++ {
+		g := testkit.Program(testkit.NewRNG(seed))
+		shapes[g.Shape] = true
+		if err := testkit.CheckProgram(g.P); err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, g.Shape, err)
+		}
+		if g.Load == ir.NoValue || g.P.Func.Instr(g.Load).Op != ir.OpLoad {
+			t.Fatalf("seed %d (%s): designated load is not a load", seed, g.Shape)
+		}
+		forest := ir.AnalyzeLoops(g.P.Func)
+		if forest.InnermostFor(g.P.Func.Instr(g.Load).Block) == nil {
+			t.Fatalf("seed %d (%s): designated load is not in a loop", seed, g.Shape)
+		}
+		sum1 := runChecksum(t, g)
+		sum2 := runChecksum(t, g)
+		if sum1 != sum2 {
+			t.Fatalf("seed %d (%s): non-deterministic checksum %d vs %d", seed, g.Shape, sum1, sum2)
+		}
+	}
+	for _, want := range []string{"direct", "indirect", "nested", "nonaffine", "double"} {
+		if !shapes[want] {
+			t.Errorf("60 seeds never produced shape %q", want)
+		}
+	}
+}
+
+func runChecksum(t *testing.T, g *testkit.Prog) int64 {
+	t.Helper()
+	res, err := cpu.Run(g.P, mem.ConfigTiny(), cpu.Options{InitMem: g.Init})
+	if err != nil {
+		t.Fatalf("%s: run: %v", g.Shape, err)
+	}
+	return res.Hier.Arena.Read(g.Out.Addr(0), 8)
+}
+
+// TestSamplesDeterministicAndAdversarial checks the LBR generator is
+// reproducible and actually emits the §3.6 degeneracies it advertises.
+func TestSamplesDeterministicAndAdversarial(t *testing.T) {
+	latch := []uint64{100, 200}
+	breakers := []uint64{300}
+	a := testkit.Samples(testkit.NewRNG(7), latch, breakers, 200)
+	b := testkit.Samples(testkit.NewRNG(7), latch, breakers, 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sample streams diverged for identical seeds")
+	}
+	var wraps, truncated, breakerHits, latchHits int
+	for _, s := range a {
+		if len(s.Entries) < lbr.Width {
+			truncated++
+		}
+		for i, e := range s.Entries {
+			if i > 0 && e.Cycle < s.Entries[i-1].Cycle {
+				wraps++
+			}
+			switch e.From {
+			case 300:
+				breakerHits++
+			case 100, 200:
+				latchHits++
+			}
+		}
+	}
+	if wraps == 0 || truncated == 0 || breakerHits == 0 || latchHits == 0 {
+		t.Fatalf("generator not adversarial enough: wraps=%d truncated=%d breakers=%d latches=%d",
+			wraps, truncated, breakerHits, latchHits)
+	}
+}
+
+// TestLatenciesAdversarial checks the latency generator emits outliers
+// and (when allowed) non-finite values, and respects the finite mode.
+func TestLatenciesAdversarial(t *testing.T) {
+	var outliers, nonFinite int
+	for seed := uint64(0); seed < 20; seed++ {
+		for _, v := range testkit.Latencies(testkit.NewRNG(seed), 500, true) {
+			if v > 1e11 && !math.IsInf(v, 0) {
+				outliers++
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				nonFinite++
+			}
+		}
+	}
+	if outliers == 0 || nonFinite == 0 {
+		t.Fatalf("latency generator too tame: outliers=%d nonFinite=%d", outliers, nonFinite)
+	}
+	for seed := uint64(0); seed < 20; seed++ {
+		if err := checkNoNonFinite(testkit.Latencies(testkit.NewRNG(seed), 500, false)); err != nil {
+			t.Fatalf("seed %d: finite mode emitted non-finite values: %v", seed, err)
+		}
+	}
+}
+
+func checkNoNonFinite(vs []float64) error {
+	return testkit.CheckFinite(vs)
+}
+
+func TestInvariantCheckers(t *testing.T) {
+	if err := testkit.NoPanic(func() {}); err != nil {
+		t.Fatalf("NoPanic on clean fn: %v", err)
+	}
+	if err := testkit.NoPanic(func() { panic("boom") }); err == nil {
+		t.Fatal("NoPanic missed a panic")
+	}
+	if err := testkit.CheckDistance(0, 256); err == nil {
+		t.Fatal("CheckDistance accepted 0")
+	}
+	if err := testkit.CheckDistance(257, 256); err == nil {
+		t.Fatal("CheckDistance accepted 257")
+	}
+	if err := testkit.CheckDistance(1, 256); err != nil {
+		t.Fatalf("CheckDistance rejected 1: %v", err)
+	}
+	if err := testkit.CheckSortedUnique([]int{3, 3}, 10); err == nil {
+		t.Fatal("CheckSortedUnique accepted duplicates")
+	}
+	if err := testkit.CheckSortedUnique([]int{3, 10}, 10); err == nil {
+		t.Fatal("CheckSortedUnique accepted out-of-range index")
+	}
+	if err := testkit.CheckFinite([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("CheckFinite accepted NaN")
+	}
+}
