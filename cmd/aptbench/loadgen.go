@@ -1,0 +1,238 @@
+// aptbench -loadgen: replay a corpus of collected profiles against a
+// live aptgetd and report serving throughput and latency percentiles.
+// With no -addr it spins up an in-process server on a loopback port, so
+// the mode doubles as the serving stack's end-to-end load test: N
+// concurrent clients, each POSTing a profile and GETting the plans back,
+// with every response checked for byte-level sanity.
+
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aptget/internal/core"
+	"aptget/internal/peaks"
+	"aptget/internal/service"
+	"aptget/internal/wire"
+	"aptget/internal/workloads"
+)
+
+type loadgenOptions struct {
+	Addr     string   // plan service base address; empty = in-process
+	Clients  int      // concurrent clients
+	Requests int      // total requests across all clients
+	Corpus   []string // workload keys to replay
+	Quick    bool     // restrict the corpus to its first key
+}
+
+// corpusItem is one replayable profile: the canonical POST body and the
+// fingerprint the plans come back under.
+type corpusItem struct {
+	app  string
+	body []byte
+	fp   wire.Fingerprint
+}
+
+// runLoadgen drives the load, prints the report, and returns an error
+// only for hard failures (unreachable server, corrupted responses).
+// Backpressure rejections are measurement, not failure — they are
+// reported and left to the caller to judge.
+func runLoadgen(opt loadgenOptions, stdout io.Writer) error {
+	if opt.Clients <= 0 {
+		opt.Clients = 32
+	}
+	if opt.Requests <= 0 {
+		opt.Requests = 256
+	}
+	if opt.Quick && len(opt.Corpus) > 1 {
+		opt.Corpus = opt.Corpus[:1]
+	}
+
+	// Collect the corpus once up front; replay dominates the measurement.
+	fmt.Fprintf(stdout, "loadgen: collecting %d profile(s): %s\n",
+		len(opt.Corpus), strings.Join(opt.Corpus, ", "))
+	corpus := make([]corpusItem, 0, len(opt.Corpus))
+	for _, key := range opt.Corpus {
+		e, ok := workloads.ByKey(key)
+		if !ok {
+			return fmt.Errorf("loadgen: unknown workload %q (use aptget -list)", key)
+		}
+		_, body, err := service.CollectProfile(e, core.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		corpus = append(corpus, corpusItem{
+			app: key, body: body, fp: wire.FingerprintBytes(body),
+		})
+	}
+
+	base := opt.Addr
+	if base == "" {
+		// In-process server, sized so the configured client count stays
+		// below the backpressure limit (each client has one outstanding
+		// request at a time).
+		inflight := service.DefaultMaxInflight
+		if 2*opt.Clients > inflight {
+			inflight = 2 * opt.Clients
+		}
+		srv := service.New(service.Config{MaxInflight: inflight})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ctx, ln) }()
+		defer func() {
+			cancel()
+			<-done
+		}()
+		base = ln.Addr().String()
+		fmt.Fprintf(stdout, "loadgen: in-process server on %s (inflight %d)\n",
+			base, inflight)
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * opt.Clients,
+			MaxIdleConnsPerHost: 2 * opt.Clients,
+		},
+		Timeout: 60 * time.Second,
+	}
+
+	var (
+		next      atomic.Int64 // request ticket dispenser
+		ok        atomic.Int64
+		rejected  atomic.Int64
+		failed    atomic.Int64
+		outcomes  sync.Map // outcome string -> *atomic.Int64
+		latencyMu sync.Mutex
+		latencies []float64 // per-request POST+GET milliseconds
+		errMu     sync.Mutex
+		firstErr  error
+	)
+	countOutcome := func(name string) {
+		v, _ := outcomes.LoadOrStore(name, new(atomic.Int64))
+		v.(*atomic.Int64).Add(1)
+	}
+	hardFail := func(err error) {
+		failed.Add(1)
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	oneRequest := func(item corpusItem) {
+		start := time.Now()
+		resp, err := client.Post(base+"/v1/profiles", "application/octet-stream",
+			bytes.NewReader(item.body))
+		if err != nil {
+			hardFail(err)
+			return
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			rejected.Add(1)
+			return
+		}
+		var ing service.IngestResponse
+		err = json.NewDecoder(resp.Body).Decode(&ing)
+		resp.Body.Close()
+		if err != nil || (resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated) {
+			hardFail(fmt.Errorf("loadgen: ingest %s: status %d (%v)", item.app, resp.StatusCode, err))
+			return
+		}
+		if ing.Fingerprint != string(item.fp) {
+			hardFail(fmt.Errorf("loadgen: server fingerprinted %s as %s, client computed %s",
+				item.app, ing.Fingerprint, item.fp))
+			return
+		}
+
+		resp, err = client.Get(base + "/v1/plans/" + ing.Fingerprint)
+		if err != nil {
+			hardFail(err)
+			return
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			rejected.Add(1)
+			return
+		}
+		plans, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			hardFail(fmt.Errorf("loadgen: fetch plans %s: status %d (%v)", item.app, resp.StatusCode, err))
+			return
+		}
+		if _, err := wire.DecodePlanSet(plans); err != nil {
+			hardFail(fmt.Errorf("loadgen: served plans for %s are not canonical: %w", item.app, err))
+			return
+		}
+
+		ms := float64(time.Since(start).Nanoseconds()) / 1e6
+		latencyMu.Lock()
+		latencies = append(latencies, ms)
+		latencyMu.Unlock()
+		ok.Add(1)
+		countOutcome(ing.Outcome)
+	}
+
+	fmt.Fprintf(stdout, "loadgen: %d requests, %d concurrent clients -> %s\n",
+		opt.Requests, opt.Clients, base)
+	wall := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < opt.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := next.Add(1) - 1
+				if n >= int64(opt.Requests) {
+					return
+				}
+				oneRequest(corpus[int(n)%len(corpus)])
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(wall)
+
+	sum := peaks.Summarize(latencies)
+	fmt.Fprintf(stdout, "requests: %d ok, %d rejected (429), %d failed\n",
+		ok.Load(), rejected.Load(), failed.Load())
+	var outcomeParts []string
+	for _, name := range []string{"miss", "hit", "stale_match"} {
+		if v, loaded := outcomes.Load(name); loaded {
+			outcomeParts = append(outcomeParts,
+				fmt.Sprintf("%s=%d", name, v.(*atomic.Int64).Load()))
+		}
+	}
+	fmt.Fprintf(stdout, "outcomes: %s\n", strings.Join(outcomeParts, " "))
+	fmt.Fprintf(stdout, "throughput: %.1f req/s over %.2fs\n",
+		float64(ok.Load())/elapsed.Seconds(), elapsed.Seconds())
+	fmt.Fprintf(stdout,
+		"latency ms (POST profile + GET plans): mean=%.2f P50=%.2f P90=%.2f P99=%.2f max=%.2f (n=%d)\n",
+		sum.Mean, sum.P50, sum.P90, sum.P99, sum.Max, sum.N)
+
+	if firstErr != nil {
+		return fmt.Errorf("%d request(s) failed hard; first: %w", failed.Load(), firstErr)
+	}
+	return nil
+}

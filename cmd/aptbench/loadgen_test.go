@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestLoadgenInProcess is the serving stack's end-to-end load test: 32
+// concurrent clients replaying one profile against an in-process server
+// must complete every request — zero backpressure rejections, zero hard
+// failures — and the report must carry the throughput and percentile
+// lines the EXPERIMENTS.md schema documents.
+func TestLoadgenInProcess(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-loadgen", "-quick", "-corpus", "IS",
+		"-clients", "32", "-requests", "64"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("loadgen exit = %d, want 0\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "requests: 64 ok, 0 rejected (429), 0 failed") {
+		t.Fatalf("loadgen dropped requests below the backpressure limit:\n%s", out)
+	}
+	// One miss (the first ingest analyzes), the rest exact hits.
+	if !strings.Contains(out, "miss=1") || !strings.Contains(out, "hit=63") {
+		t.Fatalf("unexpected outcome mix:\n%s", out)
+	}
+	for _, want := range []string{"throughput:", "req/s", "P50=", "P99="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	if m := regexp.MustCompile(`\(n=(\d+)\)`).FindStringSubmatch(out); m == nil || m[1] != "64" {
+		t.Fatalf("latency summary not built from all 64 requests:\n%s", out)
+	}
+}
+
+func TestLoadgenUnknownCorpusKeyFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-loadgen", "-corpus", "nope"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unknown corpus exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown workload") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+}

@@ -8,6 +8,8 @@
 //	aptbench -bench             # perf-regression run -> BENCH_substrate.json
 //	aptbench -exp fig6 -report report.json   # machine-readable stage/plan records
 //	aptbench -exp fig6 -trace                # human-readable pipeline trace
+//	aptbench -loadgen -clients 32            # load-test a plan service (in-process)
+//	aptbench -loadgen -addr host:7717        # ... or a live aptgetd
 //
 // Experiments fan out over a GOMAXPROCS-sized worker pool; -workers pins
 // the pool width (1 = serial). Output is identical at any width.
@@ -19,6 +21,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"aptget/internal/experiments"
@@ -44,11 +47,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	benchout := fs.String("benchout", "BENCH_substrate.json", "perf report path for -bench")
 	report := fs.String("report", "", "write per-stage/per-plan observability records to this JSON file")
 	trace := fs.Bool("trace", false, "print a human-readable pipeline trace after the experiments")
+	loadgen := fs.Bool("loadgen", false, "replay a profile corpus against a plan service and report throughput/latency")
+	addr := fs.String("addr", "", "plan service address for -loadgen (empty = in-process server)")
+	clients := fs.Int("clients", 32, "concurrent -loadgen clients")
+	requests := fs.Int("requests", 256, "total -loadgen requests")
+	corpus := fs.String("corpus", "IS,BFS,HJ8", "comma-separated workload keys -loadgen replays")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	runner.SetMaxWorkers(*workers)
+
+	if *loadgen {
+		err := runLoadgen(loadgenOptions{
+			Addr:     *addr,
+			Clients:  *clients,
+			Requests: *requests,
+			Corpus:   strings.Split(*corpus, ","),
+			Quick:    *quick,
+		}, stdout)
+		if err != nil {
+			fmt.Fprintf(stderr, "aptbench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	if *bench {
 		if err := runBench(*quick, *benchout); err != nil {

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aptget/internal/wire"
+)
+
+// TestBareInvocationIsUsageError: no -app prints the application list
+// (so the user sees what to pass) but exits 2 — scripts must not treat
+// a flagless invocation as success.
+func TestBareInvocationIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("bare aptget exit = %d, want 2", code)
+	}
+	if !strings.Contains(stdout.String(), "applications:") ||
+		!strings.Contains(stdout.String(), "BFS") {
+		t.Fatalf("bare aptget did not list applications:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "-app is required") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+}
+
+func TestListIsCleanSuccess(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+	for _, key := range []string{"BFS", "IS", "HJ8", "G500"} {
+		if !strings.Contains(stdout.String(), key) {
+			t.Fatalf("-list output missing %q:\n%s", key, stdout.String())
+		}
+	}
+	if stderr.Len() != 0 {
+		t.Fatalf("-list wrote to stderr: %q", stderr.String())
+	}
+}
+
+func TestUnknownApplicationIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-app", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown app exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown application") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+}
+
+func TestUnknownVariantIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-app", "IS", "-variant", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown variant exit = %d, want 2", code)
+	}
+}
+
+func TestBadFlagIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+}
+
+// TestEmitProfileAndPlans: both artifacts are written as canonical wire
+// frames that decode back, and stdout names the profile fingerprint the
+// serving workflow keys on.
+func TestEmitProfileAndPlans(t *testing.T) {
+	dir := t.TempDir()
+	profPath := filepath.Join(dir, "is.profile")
+	plansPath := filepath.Join(dir, "is.plans")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-app", "IS",
+		"-emit-profile", profPath, "-emit-plans", plansPath}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr.String())
+	}
+
+	profData, err := os.ReadFile(profPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, err := wire.DecodeProfile(profData)
+	if err != nil {
+		t.Fatalf("emitted profile does not decode: %v", err)
+	}
+	if wp.App != "IS" || len(wp.Samples) == 0 || len(wp.Loops) == 0 {
+		t.Fatalf("emitted profile is hollow: app=%s samples=%d loops=%d",
+			wp.App, len(wp.Samples), len(wp.Loops))
+	}
+	if !strings.Contains(stdout.String(), string(wire.FingerprintBytes(profData))) {
+		t.Fatalf("stdout does not name the profile fingerprint:\n%s", stdout.String())
+	}
+
+	plansData, err := os.ReadFile(plansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := wire.DecodePlanSet(plansData)
+	if err != nil {
+		t.Fatalf("emitted plan set does not decode: %v", err)
+	}
+	if ps.App != "IS" || len(ps.Plans) == 0 {
+		t.Fatalf("emitted plan set is hollow: app=%s plans=%d", ps.App, len(ps.Plans))
+	}
+}

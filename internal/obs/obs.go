@@ -10,9 +10,12 @@
 // The registry is disabled by default and costs one atomic load per
 // Begin when off (Begin returns a nil *Span and every Span method is
 // nil-safe), so the instrumented hot paths pay nothing in normal runs.
-// When enabled (aptbench -report / -trace), spans are appended under a
-// mutex: internal/runner fans pipeline runs out over a worker pool, and
-// concurrent Begin/End from pool goroutines is safe. Snapshot orders
+// When enabled (aptbench -report / -trace, aptgetd -report), spans are
+// appended under a mutex: internal/runner fans pipeline runs out over a
+// worker pool, and concurrent Begin/End from pool goroutines is safe.
+// Each span additionally guards its own counters, so the serving layer
+// can mutate one long-lived span from concurrent request handlers while
+// Snapshot reads it. Snapshot orders
 // records deterministically by (scope, stage rank, begin sequence), so
 // the exported report does not depend on worker interleaving.
 //
@@ -35,6 +38,10 @@ const (
 	StageInject     = "inject"
 	StageExecute    = "execute"
 	StageExperiment = "experiment"
+	// StageServe scopes the aptgetd serving layer: plan-cache hit/miss/
+	// stale-match counters and backpressure rejections live on one
+	// long-lived span per server, mutated concurrently by handlers.
+	StageServe = "serve"
 )
 
 // stageRank orders the canonical stages in pipeline order for reports.
@@ -50,8 +57,10 @@ func stageRank(stage string) int {
 		return 3
 	case StageExperiment:
 		return 4
+	case StageServe:
+		return 5
 	}
-	return 5
+	return 6
 }
 
 // PlanRecord is the per-plan provenance attached to analysis spans and
@@ -107,8 +116,13 @@ type Span struct {
 	Scope string // "<app>/<variant>" for pipeline stages, "exp/<id>" for experiments
 	Stage string
 
-	seq      uint64
-	begin    time.Time
+	seq   uint64
+	begin time.Time
+
+	// mu guards the mutable fields: pipeline stages use a span from one
+	// goroutine, but the serving layer mutates one long-lived span from
+	// concurrent request handlers, and Snapshot may run while they do.
+	mu       sync.Mutex
 	wallNS   int64
 	counters map[string]int64
 	metrics  map[string]float64
@@ -160,11 +174,15 @@ func Begin(scope, stage string) *Span {
 
 // End closes the span, recording its wall time. Idempotent.
 func (s *Span) End() {
-	if s == nil || s.done {
+	if s == nil {
 		return
 	}
-	s.wallNS = time.Since(s.begin).Nanoseconds()
-	s.done = true
+	s.mu.Lock()
+	if !s.done {
+		s.wallNS = time.Since(s.begin).Nanoseconds()
+		s.done = true
+	}
+	s.mu.Unlock()
 }
 
 // Add increments a named counter by delta.
@@ -172,10 +190,12 @@ func (s *Span) Add(name string, delta int64) {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
 	if s.counters == nil {
 		s.counters = make(map[string]int64)
 	}
 	s.counters[name] += delta
+	s.mu.Unlock()
 }
 
 // Set assigns a named counter.
@@ -183,10 +203,12 @@ func (s *Span) Set(name string, v int64) {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
 	if s.counters == nil {
 		s.counters = make(map[string]int64)
 	}
 	s.counters[name] = v
+	s.mu.Unlock()
 }
 
 // SetAll copies every entry of m into the span's counters.
@@ -204,10 +226,12 @@ func (s *Span) SetMetric(name string, v float64) {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
 	if s.metrics == nil {
 		s.metrics = make(map[string]float64)
 	}
 	s.metrics[name] = v
+	s.mu.Unlock()
 }
 
 // AddPlan attaches one plan's provenance record to the span.
@@ -215,7 +239,9 @@ func (s *Span) AddPlan(p PlanRecord) {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
 	s.plans = append(s.plans, p)
+	s.mu.Unlock()
 }
 
 // Timer starts a named wall-clock sub-timer; the returned stop function
@@ -226,4 +252,19 @@ func (s *Span) Timer(name string) func() {
 	}
 	start := time.Now()
 	return func() { s.Set(name+"_ns", time.Since(start).Nanoseconds()) }
+}
+
+// Counters returns a copy of the span's counters — the serving layer's
+// /v1/metrics endpoint reads a live span through this.
+func (s *Span) Counters() map[string]int64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
 }

@@ -165,3 +165,36 @@ func TestTextRendering(t *testing.T) {
 		}
 	}
 }
+
+// TestSharedSpanConcurrentMutation: the serving layer mutates one
+// long-lived span from many request handlers while Snapshot and
+// Counters read it. Run under -race this is the regression test for the
+// per-span lock.
+func TestSharedSpanConcurrentMutation(t *testing.T) {
+	Enable()
+	Reset()
+	defer Disable()
+	sp := Begin("aptgetd/service", StageServe)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp.Add("plan_cache_hits", 1)
+				sp.SetMetric("inflight", float64(i))
+				_ = Snapshot()
+				_ = sp.Counters()
+			}
+		}()
+	}
+	wg.Wait()
+	sp.End()
+	if got := sp.Counters()["plan_cache_hits"]; got != 8*200 {
+		t.Fatalf("plan_cache_hits = %d, want %d", got, 8*200)
+	}
+	rep := Snapshot()
+	if len(rep.Records) != 1 || rep.Records[0].Stage != StageServe {
+		t.Fatalf("serve span missing from snapshot: %+v", rep.Records)
+	}
+}

@@ -51,6 +51,7 @@ func Snapshot() *Report {
 
 	rep := &Report{Records: make([]Record, 0, len(spans))}
 	for _, s := range spans {
+		s.mu.Lock() // live serving spans mutate concurrently with Snapshot
 		rec := Record{
 			Scope:  s.Scope,
 			Stage:  s.Stage,
@@ -69,6 +70,7 @@ func Snapshot() *Report {
 				rec.Metrics[k] = v
 			}
 		}
+		s.mu.Unlock()
 		rep.Records = append(rep.Records, rec)
 	}
 	return rep

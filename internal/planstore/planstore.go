@@ -1,0 +1,256 @@
+// Package planstore is aptgetd's content-addressed plan cache: a
+// bounded LRU of encoded plan sets keyed by (profile fingerprint,
+// program shape hash), with two policies layered on the plain cache:
+//
+//   - Single-flight deduplication: N concurrent requests for the same
+//     profile trigger exactly one analysis; the rest wait on the first
+//     computation and share its result. Analysis is the expensive step
+//     (CWT over every delinquent load's latency distribution), and a
+//     fleet pushing the same binary re-profiles in bursts.
+//   - Stale-profile matching (after Ayupov et al.): when an exact
+//     fingerprint misses, an entry whose *loop structure* matches — same
+//     nesting, latch and block shape, raw PCs ignored — is served
+//     instead, flagged stale. Plans survive binary drift: a recompile
+//     that moved code but kept the loop nest reuses the prior analysis
+//     instead of re-running it.
+//
+// The store is safe for concurrent use and never blocks readers on a
+// running computation for a *different* key.
+package planstore
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"aptget/internal/obs"
+	"aptget/internal/wire"
+)
+
+// Key addresses one profile's plans.
+type Key struct {
+	Profile wire.Fingerprint
+	Shape   wire.ShapeHash
+}
+
+// Outcome says how a request was served.
+type Outcome int
+
+// Serving outcomes.
+const (
+	// OutcomeMiss: no usable entry; this request ran the analysis.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit: exact fingerprint hit (including requests that waited
+	// on an in-flight computation of the same key).
+	OutcomeHit
+	// OutcomeStaleMatch: exact fingerprint missed, but an entry with the
+	// same loop-structure hash was served without re-running analysis.
+	OutcomeStaleMatch
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeStaleMatch:
+		return "stale_match"
+	}
+	return "miss"
+}
+
+// Result describes how a GetOrCompute call was served.
+type Result struct {
+	Outcome Outcome
+	// Source is the fingerprint of the profile the served plans were
+	// computed from. Equal to the request's fingerprint except on stale
+	// matches, where it names the matched prior profile.
+	Source wire.Fingerprint
+}
+
+// entry is one cached plan set.
+type entry struct {
+	key    Key
+	plans  []byte // canonical wire plan-set bytes
+	source wire.Fingerprint
+}
+
+// call is one in-flight computation other requests can wait on.
+type call struct {
+	done  chan struct{}
+	plans []byte
+	src   wire.Fingerprint
+	err   error
+}
+
+// Store is the bounded LRU plan cache.
+type Store struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List                         // front = most recently used; values are *entry
+	byKey    map[Key]*list.Element              // exact lookup
+	byFP     map[wire.Fingerprint]*list.Element // GET /v1/plans/{fp} lookup
+	byShape  map[wire.ShapeHash]*list.Element   // most recent entry per loop structure
+	inflight map[Key]*call
+
+	hits, staleMatches, misses, evictions atomic.Int64
+
+	sp *obs.Span // optional mirror of the counters into the obs registry
+}
+
+// DefaultCapacity bounds the cache when New is given a non-positive
+// capacity.
+const DefaultCapacity = 512
+
+// New returns a store holding at most capacity plan sets (≤0 selects
+// DefaultCapacity).
+func New(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Store{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[Key]*list.Element),
+		byFP:     make(map[wire.Fingerprint]*list.Element),
+		byShape:  make(map[wire.ShapeHash]*list.Element),
+		inflight: make(map[Key]*call),
+	}
+}
+
+// AttachObs mirrors the store's counters onto an obs span (aptgetd
+// -report): every hit/stale-match/miss/eviction is Add()ed there too, so
+// a report written by the daemon agrees with /v1/metrics.
+func (s *Store) AttachObs(sp *obs.Span) {
+	s.mu.Lock()
+	s.sp = sp
+	s.mu.Unlock()
+}
+
+// Len returns the number of cached plan sets.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+// Counters exports the store's counters under the names the obs layer
+// and /v1/metrics share.
+func (s *Store) Counters() map[string]int64 {
+	return map[string]int64{
+		"plan_cache_hits":          s.hits.Load(),
+		"plan_cache_stale_matches": s.staleMatches.Load(),
+		"plan_cache_misses":        s.misses.Load(),
+		"plan_cache_evictions":     s.evictions.Load(),
+	}
+}
+
+// Get looks up plans by exact profile fingerprint (the GET /v1/plans
+// path, where no shape hash is available). It does not count as a cache
+// hit or miss — ingestion owns the hit/miss accounting.
+func (s *Store) Get(fp wire.Fingerprint) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byFP[fp]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*entry).plans, true
+}
+
+// GetOrCompute serves key from the cache, from a same-shape stale entry,
+// from an in-flight computation of the same key, or — exactly once per
+// key — by running compute. compute runs without the store lock held.
+func (s *Store) GetOrCompute(key Key, compute func() ([]byte, error)) ([]byte, Result, error) {
+	s.mu.Lock()
+
+	// 1. Exact hit.
+	if el, ok := s.byKey[key]; ok {
+		s.ll.MoveToFront(el)
+		e := el.Value.(*entry)
+		s.count(&s.hits, "plan_cache_hits")
+		s.mu.Unlock()
+		return e.plans, Result{Outcome: OutcomeHit, Source: e.source}, nil
+	}
+
+	// 2. Same key already being computed: wait for it rather than
+	// serving stale — the exact answer is moments away.
+	if c, ok := s.inflight[key]; ok {
+		s.count(&s.hits, "plan_cache_hits")
+		s.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, Result{}, c.err
+		}
+		return c.plans, Result{Outcome: OutcomeHit, Source: c.src}, nil
+	}
+
+	// 3. Stale match: an entry computed from a different profile of the
+	// same loop structure. Serve its plans verbatim, no analysis, and
+	// alias them under the new fingerprint so the follow-up GET (and
+	// repeat ingests of this exact profile) hit exactly.
+	if el, ok := s.byShape[key.Shape]; ok {
+		prior := el.Value.(*entry)
+		s.count(&s.staleMatches, "plan_cache_stale_matches")
+		res := Result{Outcome: OutcomeStaleMatch, Source: prior.source}
+		plans := prior.plans
+		s.insertLocked(&entry{key: key, plans: plans, source: prior.source})
+		s.mu.Unlock()
+		return plans, res, nil
+	}
+
+	// 4. Miss: this request runs the analysis; register the flight so
+	// concurrent requests for the same key wait instead of recomputing.
+	c := &call{done: make(chan struct{}), src: key.Profile}
+	s.inflight[key] = c
+	s.count(&s.misses, "plan_cache_misses")
+	s.mu.Unlock()
+
+	c.plans, c.err = compute()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if c.err == nil {
+		s.insertLocked(&entry{key: key, plans: c.plans, source: key.Profile})
+	}
+	s.mu.Unlock()
+	close(c.done)
+
+	if c.err != nil {
+		return nil, Result{}, c.err
+	}
+	return c.plans, Result{Outcome: OutcomeMiss, Source: key.Profile}, nil
+}
+
+// insertLocked adds an entry at the LRU front and evicts past capacity.
+// Caller holds s.mu.
+func (s *Store) insertLocked(e *entry) {
+	if el, ok := s.byKey[e.key]; ok { // lost a race with an identical insert
+		s.ll.MoveToFront(el)
+		return
+	}
+	el := s.ll.PushFront(e)
+	s.byKey[e.key] = el
+	s.byFP[e.key.Profile] = el
+	s.byShape[e.key.Shape] = el
+	for s.ll.Len() > s.capacity {
+		back := s.ll.Back()
+		old := back.Value.(*entry)
+		s.ll.Remove(back)
+		delete(s.byKey, old.key)
+		if s.byFP[old.key.Profile] == back {
+			delete(s.byFP, old.key.Profile)
+		}
+		if s.byShape[old.key.Shape] == back {
+			delete(s.byShape, old.key.Shape)
+		}
+		s.count(&s.evictions, "plan_cache_evictions")
+	}
+}
+
+// count bumps an atomic and mirrors it into the obs span when attached.
+// Caller holds s.mu (for s.sp); the span has its own lock.
+func (s *Store) count(a *atomic.Int64, name string) {
+	a.Add(1)
+	s.sp.Add(name, 1)
+}

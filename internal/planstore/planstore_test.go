@@ -1,0 +1,197 @@
+package planstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aptget/internal/wire"
+)
+
+func key(i int, shape string) Key {
+	return Key{
+		Profile: wire.Fingerprint(fmt.Sprintf("fp-%03d", i)),
+		Shape:   wire.ShapeHash(shape),
+	}
+}
+
+func plans(i int) []byte { return []byte(fmt.Sprintf("plans-%03d", i)) }
+
+func mustCompute(t *testing.T, s *Store, k Key, i int) Result {
+	t.Helper()
+	got, res, err := s.GetOrCompute(k, func() ([]byte, error) { return plans(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome == OutcomeMiss && !bytes.Equal(got, plans(i)) {
+		t.Fatalf("computed plans corrupted: %q", got)
+	}
+	return res
+}
+
+func TestExactHitAfterMiss(t *testing.T) {
+	s := New(4)
+	k := key(1, "shape-A")
+	if res := mustCompute(t, s, k, 1); res.Outcome != OutcomeMiss {
+		t.Fatalf("first request outcome = %v, want miss", res.Outcome)
+	}
+	res := mustCompute(t, s, k, 99) // compute must NOT run again
+	if res.Outcome != OutcomeHit || res.Source != k.Profile {
+		t.Fatalf("second request = %+v, want exact hit", res)
+	}
+	got, ok := s.Get(k.Profile)
+	if !ok || !bytes.Equal(got, plans(1)) {
+		t.Fatalf("Get by fingerprint = %q/%v", got, ok)
+	}
+	c := s.Counters()
+	if c["plan_cache_hits"] != 1 || c["plan_cache_misses"] != 1 {
+		t.Fatalf("counters = %v", c)
+	}
+}
+
+func TestStaleMatchServesPriorPlansWithoutRecompute(t *testing.T) {
+	s := New(4)
+	orig := key(1, "shape-A")
+	mustCompute(t, s, orig, 1)
+
+	// Same loop structure, drifted fingerprint.
+	drifted := key(2, "shape-A")
+	computed := false
+	got, res, err := s.GetOrCompute(drifted, func() ([]byte, error) {
+		computed = true
+		return plans(2), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed {
+		t.Fatal("stale match must not re-run analysis")
+	}
+	if res.Outcome != OutcomeStaleMatch || res.Source != orig.Profile {
+		t.Fatalf("result = %+v, want stale match from %s", res, orig.Profile)
+	}
+	if !bytes.Equal(got, plans(1)) {
+		t.Fatalf("stale match served %q, want the prior plans", got)
+	}
+	// The alias makes the drifted fingerprint exactly addressable.
+	if aliased, ok := s.Get(drifted.Profile); !ok || !bytes.Equal(aliased, plans(1)) {
+		t.Fatalf("drifted fingerprint not aliased: %q/%v", aliased, ok)
+	}
+	// A different shape must compute.
+	other := key(3, "shape-B")
+	if res := mustCompute(t, s, other, 3); res.Outcome != OutcomeMiss {
+		t.Fatalf("different shape outcome = %v, want miss", res.Outcome)
+	}
+	c := s.Counters()
+	if c["plan_cache_stale_matches"] != 1 || c["plan_cache_misses"] != 2 {
+		t.Fatalf("counters = %v", c)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := New(2)
+	a, b, c := key(1, "sA"), key(2, "sB"), key(3, "sC")
+	mustCompute(t, s, a, 1)
+	mustCompute(t, s, b, 2)
+	mustCompute(t, s, a, 1) // touch a; b becomes LRU
+	mustCompute(t, s, c, 3) // evicts b
+	if s.Len() != 2 {
+		t.Fatalf("len = %d, want 2", s.Len())
+	}
+	if _, ok := s.Get(b.Profile); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := s.Get(a.Profile); !ok {
+		t.Fatal("a (recently used) should survive")
+	}
+	// The evicted shape no longer stale-matches.
+	if res := mustCompute(t, s, key(4, "sB"), 4); res.Outcome != OutcomeMiss {
+		t.Fatalf("evicted shape outcome = %v, want miss", res.Outcome)
+	}
+	if got := s.Counters()["plan_cache_evictions"]; got < 1 {
+		t.Fatalf("evictions = %d, want >= 1", got)
+	}
+}
+
+// TestEvictionKeepsFresherShapeIndex: evicting an old entry must not
+// drop the shape index when a fresher entry with the same shape exists.
+func TestEvictionKeepsFresherShapeIndex(t *testing.T) {
+	s := New(2)
+	old := key(1, "sA")
+	mustCompute(t, s, old, 1)
+	fresh := key(2, "sA") // stale-aliases old, byShape now points here
+	mustCompute(t, s, fresh, 2)
+	mustCompute(t, s, key(3, "sB"), 3) // evicts `old` (LRU back)
+	// sA must still stale-match through the fresher alias.
+	res := mustCompute(t, s, key(4, "sA"), 4)
+	if res.Outcome != OutcomeStaleMatch {
+		t.Fatalf("outcome = %v, want stale match via surviving alias", res.Outcome)
+	}
+}
+
+func TestSingleFlightDeduplicates(t *testing.T) {
+	s := New(8)
+	k := key(1, "sA")
+	var computes atomic.Int64
+	release := make(chan struct{})
+	const n = 32
+
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, res, err := s.GetOrCompute(k, func() ([]byte, error) {
+				computes.Add(1)
+				<-release // hold every other goroutine in the waiting path
+				return plans(1), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			outcomes[i] = res.Outcome
+		}(i)
+	}
+	// Let the flight start, then release it. A racing goroutine that
+	// arrives after completion still hits the cache; either way compute
+	// runs once.
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want exactly 1", got)
+	}
+	miss := 0
+	for _, o := range outcomes {
+		if o == OutcomeMiss {
+			miss++
+		}
+	}
+	if miss != 1 {
+		t.Fatalf("%d requests reported miss, want 1", miss)
+	}
+	c := s.Counters()
+	if c["plan_cache_misses"] != 1 || c["plan_cache_hits"] != n-1 {
+		t.Fatalf("counters = %v", c)
+	}
+}
+
+func TestComputeErrorIsNotCached(t *testing.T) {
+	s := New(4)
+	k := key(1, "sA")
+	boom := errors.New("analysis exploded")
+	if _, _, err := s.GetOrCompute(k, func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if s.Len() != 0 {
+		t.Fatal("failed computation was cached")
+	}
+	// Next request retries.
+	if res := mustCompute(t, s, k, 1); res.Outcome != OutcomeMiss {
+		t.Fatalf("retry outcome = %v, want miss", res.Outcome)
+	}
+}

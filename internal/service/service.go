@@ -1,0 +1,371 @@
+// Package service is aptgetd's HTTP layer: a small JSON-over-HTTP API
+// that turns the in-process pipeline into a continuous-profiling plan
+// service. Clients POST a wire-encoded profile (PEBS loads + LBR
+// snapshots + loop shapes) and get back the fingerprint under which the
+// derived plan set is cached; the plan bytes themselves are fetched by
+// fingerprint, so a fleet of identical clients shares one analysis.
+//
+//	POST /v1/profiles        ingest a profile, return {fingerprint, outcome}
+//	GET  /v1/plans/{fp}      fetch canonical plan-set bytes by fingerprint
+//	GET  /v1/healthz         liveness + cache size
+//	GET  /v1/metrics         plan-cache / backpressure counters (+ obs report)
+//
+// The server re-derives plans itself: workload builds are deterministic
+// (core.Workload contract), so the profile only has to name the
+// application — the daemon rebuilds the exact program the profile's PCs
+// refer to and runs the same analysis.Analyze the in-process pipeline
+// uses. A served plan set is therefore byte-identical to what
+// core.RunPipeline would have computed locally.
+//
+// Admission control is a non-blocking semaphore: past MaxInflight
+// concurrent profile/plan requests the server answers 429 immediately
+// (counted as requests_rejected_backpressure) instead of queueing
+// unboundedly. Every request also runs under a deadline
+// (http.TimeoutHandler), and Serve drains connections gracefully on
+// context cancellation.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"aptget/internal/analysis"
+	"aptget/internal/core"
+	"aptget/internal/mem"
+	"aptget/internal/obs"
+	"aptget/internal/planstore"
+	"aptget/internal/wire"
+	"aptget/internal/workloads"
+)
+
+// Defaults for zero Config fields.
+const (
+	DefaultMaxInflight    = 64
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultMaxBodyBytes   = 64 << 20
+)
+
+// Config tunes the server. Zero values select defaults.
+type Config struct {
+	// Pipeline carries the machine model and analysis options plans are
+	// computed with. A zero value selects core.DefaultConfig — the same
+	// configuration the in-process pipeline uses, which is what makes
+	// served plans byte-identical to core.RunPipeline's.
+	Pipeline core.Config
+
+	// CacheCapacity bounds the plan cache (≤0 → planstore.DefaultCapacity).
+	CacheCapacity int
+
+	// MaxInflight caps concurrently-served profile/plan requests; excess
+	// requests are rejected with 429 rather than queued.
+	MaxInflight int
+
+	// RequestTimeout bounds one request end to end (including the
+	// analysis a cache miss runs).
+	RequestTimeout time.Duration
+
+	// MaxBodyBytes caps the ingest payload.
+	MaxBodyBytes int64
+}
+
+func (c *Config) fill() {
+	// Mirror core.Config.fill so the daemon's Analyze sees exactly the
+	// options the in-process pipeline would.
+	if c.Pipeline.Machine.Name == "" {
+		c.Pipeline.Machine = mem.ConfigScaled()
+	}
+	if c.Pipeline.Analysis.DRAMLatency == 0 {
+		c.Pipeline.Analysis.DRAMLatency = float64(c.Pipeline.Machine.DRAMLatency)
+	}
+	if c.CacheCapacity <= 0 {
+		c.CacheCapacity = planstore.DefaultCapacity
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = DefaultMaxInflight
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+}
+
+// Server is one plan-service instance: the cache, the admission
+// semaphore, and the HTTP handler wired over them.
+type Server struct {
+	cfg     Config
+	store   *planstore.Store
+	sem     chan struct{}
+	handler http.Handler
+
+	rejected atomic.Int64
+
+	// sp is the long-lived serve span the cache counters mirror into
+	// when the obs registry is enabled at construction (aptgetd -report).
+	sp *obs.Span
+}
+
+// IngestResponse is the POST /v1/profiles reply.
+type IngestResponse struct {
+	App         string `json:"app"`
+	Fingerprint string `json:"fingerprint"`
+	ShapeHash   string `json:"shape_hash"`
+	Plans       int    `json:"plans"`
+	// Outcome is how the request was served: "miss" (this request ran
+	// the analysis), "hit" (exact fingerprint), or "stale_match".
+	Outcome      string `json:"outcome"`
+	StaleMatched bool   `json:"stale_matched"`
+	// SourceFingerprint names the profile the served plans were computed
+	// from; differs from Fingerprint only on stale matches.
+	SourceFingerprint string `json:"source_fingerprint,omitempty"`
+}
+
+// MetricsResponse is the GET /v1/metrics reply. Counters always carries
+// the plan-cache and backpressure counters; Obs carries the full span
+// report when the obs registry is enabled.
+type MetricsResponse struct {
+	Counters map[string]int64 `json:"counters"`
+	Obs      *obs.Report      `json:"obs,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// New constructs a server. If the obs registry is enabled when New runs,
+// the server opens one long-lived "aptgetd/service" serve span and
+// mirrors its counters there, so a daemon-written report agrees with
+// /v1/metrics.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:   cfg,
+		store: planstore.New(cfg.CacheCapacity),
+		sem:   make(chan struct{}, cfg.MaxInflight),
+		sp:    obs.Begin("aptgetd/service", obs.StageServe),
+	}
+	s.store.AttachObs(s.sp)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/profiles", s.handleIngest)
+	mux.HandleFunc("GET /v1/plans/{fp}", s.handlePlans)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.handler = http.TimeoutHandler(mux, cfg.RequestTimeout,
+		`{"error":"request timed out"}`)
+	return s
+}
+
+// Handler returns the server's HTTP handler (routing + timeouts), for
+// tests and embedding; Serve wraps it in a listener lifecycle.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Store exposes the plan cache (aptgetd startup logging, tests).
+func (s *Server) Store() *planstore.Store { return s.store }
+
+// Counters merges the plan-cache counters with the server's own — the
+// numbers /v1/metrics serves.
+func (s *Server) Counters() map[string]int64 {
+	c := s.store.Counters()
+	c["requests_rejected_backpressure"] = s.rejected.Load()
+	return c
+}
+
+// Close ends the server's obs span. Idempotent; Serve calls it on exit.
+func (s *Server) Close() { s.sp.End() }
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts
+// down gracefully (in-flight requests get up to 5s to drain). Returns
+// nil on a clean shutdown.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		// ReadTimeout also bounds body reads: a stalled upload holds an
+		// admission slot that the handler-level timeout alone cannot
+		// reclaim (the blocked body read pins the request).
+		ReadTimeout: s.cfg.RequestTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := srv.Shutdown(shutdownCtx)
+		<-errc // srv.Serve has returned http.ErrServerClosed
+		s.Close()
+		return err
+	case err := <-errc:
+		s.Close()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// acquire is the non-blocking admission check; release undoes it.
+func (s *Server) acquire() bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// reject answers 429 and counts the rejection.
+func (s *Server) reject(w http.ResponseWriter) {
+	s.rejected.Add(1)
+	s.sp.Add("requests_rejected_backpressure", 1)
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests,
+		errorResponse{Error: "server at capacity"})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !s.acquire() {
+		s.reject(w)
+		return
+	}
+	defer s.release()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorResponse{Error: "reading body: " + err.Error()})
+		return
+	}
+	prof, err := wire.DecodeProfile(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if err := prof.Validate(); err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+	if _, ok := workloads.ByKey(prof.App); !ok {
+		writeJSON(w, http.StatusUnprocessableEntity,
+			errorResponse{Error: fmt.Sprintf("unknown application %q", prof.App)})
+		return
+	}
+
+	// The decoder enforces canonical frames, so the received bytes ARE
+	// the canonical encoding: fingerprint them directly.
+	key := planstore.Key{
+		Profile: wire.FingerprintBytes(body),
+		Shape:   prof.ShapeHash(),
+	}
+	plans, res, err := s.store.GetOrCompute(key, func() ([]byte, error) {
+		return s.computePlans(prof)
+	})
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		return
+	}
+
+	resp := IngestResponse{
+		App:         prof.App,
+		Fingerprint: string(key.Profile),
+		ShapeHash:   string(key.Shape),
+		Outcome:     res.Outcome.String(),
+	}
+	if ps, err := wire.DecodePlanSet(plans); err == nil {
+		resp.Plans = len(ps.Plans)
+	}
+	status := http.StatusOK
+	if res.Outcome == planstore.OutcomeMiss {
+		status = http.StatusCreated
+	}
+	if res.Outcome == planstore.OutcomeStaleMatch {
+		resp.StaleMatched = true
+	}
+	if res.Source != key.Profile {
+		resp.SourceFingerprint = string(res.Source)
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
+	if !s.acquire() {
+		s.reject(w)
+		return
+	}
+	defer s.release()
+
+	fp := wire.Fingerprint(r.PathValue("fp"))
+	plans, ok := s.store.Get(fp)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: fmt.Sprintf("no plans for fingerprint %q", fp)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(plans)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"cache_entries": s.store.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	resp := MetricsResponse{Counters: s.Counters()}
+	if obs.Enabled() {
+		resp.Obs = obs.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// computePlans is the cache-miss path: rebuild the named workload (the
+// deterministic build the profile's PCs refer to) and run the paper's
+// analysis on the reconstructed profile. The analysis runs under an
+// "aptgetd/<app>" span, so a report (and the single-flight tests) can
+// count exactly how many analyses the daemon ran.
+func (s *Server) computePlans(p *wire.Profile) ([]byte, error) {
+	e, ok := workloads.ByKey(p.App)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown application %q", p.App)
+	}
+	prog, err := e.New().Build()
+	if err != nil {
+		return nil, fmt.Errorf("service: rebuilding %s: %w", p.App, err)
+	}
+	sp := obs.Begin("aptgetd/"+p.App, obs.StageAnalysis)
+	aopt := s.cfg.Pipeline.Analysis
+	aopt.Obs = sp
+	plans, err := analysis.Analyze(prog, p.ToProfile(), aopt)
+	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("service: analyzing %s: %w", p.App, err)
+	}
+	return wire.EncodePlanSet(wire.PlanSetFromAnalysis(p.App, plans, aopt)), nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

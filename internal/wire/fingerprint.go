@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Fingerprint is the content address of a profile: a stable hash over
+// its canonical bytes. Two profiles fingerprint equal iff they encode to
+// the same bytes, so the plan cache can key on it directly.
+type Fingerprint string
+
+// ShapeHash is the stale-matching key: a stable hash over the profile's
+// loop structure (and the app it belongs to), with every raw PC ignored.
+// Profiles of two builds of the same program that kept the loop nest —
+// the common case under binary drift — share a ShapeHash even though
+// their Fingerprints differ.
+type ShapeHash string
+
+// fpBytes is how much of the SHA-256 digest the textual keys keep. 16
+// bytes (128 bits) is far beyond collision reach for any cache size and
+// keeps URLs readable.
+const fpBytes = 16
+
+func digest(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:fpBytes])
+}
+
+// FingerprintOf content-addresses a profile via its canonical encoding.
+func FingerprintOf(p *Profile) Fingerprint {
+	return FingerprintBytes(EncodeProfile(p))
+}
+
+// FingerprintBytes content-addresses an already-encoded profile frame.
+// The caller must pass bytes produced by EncodeProfile (canonical);
+// hashing a hand-built non-canonical frame would address the same
+// logical profile twice.
+func FingerprintBytes(canonical []byte) Fingerprint {
+	return Fingerprint(digest(canonical))
+}
+
+// ShapeHashOf hashes the app name and the PC-free loop shapes.
+func ShapeHashOf(app string, loops []LoopShape) ShapeHash {
+	w := newWriter(KindProfile) // reuse the frame writer for canonical bytes
+	w.str(app)
+	w.uint(uint64(len(loops)))
+	for _, l := range loops {
+		w.int(int64(l.Depth))
+		w.int(int64(l.Parent))
+		w.int(int64(l.Latches))
+		w.int(int64(l.Blocks))
+		w.bool(l.HasInduction)
+	}
+	return ShapeHash(digest(w.buf))
+}
+
+// ShapeHash returns the profile's stale-matching key.
+func (p *Profile) ShapeHash() ShapeHash { return ShapeHashOf(p.App, p.Loops) }
+
+// Validate applies the structural checks ingestion needs beyond what the
+// decoder enforces: a workload name, and loop parent indices that stay
+// inside the slice (the shape hash and stale matcher walk them).
+func (p *Profile) Validate() error {
+	if p.App == "" {
+		return fmt.Errorf("wire: profile has no app name")
+	}
+	for i, l := range p.Loops {
+		if l.Parent < -1 || int(l.Parent) >= len(p.Loops) || int(l.Parent) == i {
+			return fmt.Errorf("wire: loop %d has bad parent index %d", i, l.Parent)
+		}
+		if l.Depth < 1 || l.Latches < 0 || l.Blocks < 1 {
+			return fmt.Errorf("wire: loop %d has bad shape %+v", i, l)
+		}
+	}
+	return nil
+}
