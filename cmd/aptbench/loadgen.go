@@ -43,11 +43,19 @@ type corpusItem struct {
 	fp   wire.Fingerprint
 }
 
+// loadgenStats is the measurement a load run produces, independent of
+// the printed report (the serve benchmark reuses it).
+type loadgenStats struct {
+	OK, Rejected, Failed int64
+	Elapsed              time.Duration
+	Latency              peaks.Summary // per-request POST+GET milliseconds
+}
+
 // runLoadgen drives the load, prints the report, and returns an error
 // only for hard failures (unreachable server, corrupted responses).
 // Backpressure rejections are measurement, not failure — they are
 // reported and left to the caller to judge.
-func runLoadgen(opt loadgenOptions, stdout io.Writer) error {
+func runLoadgen(opt loadgenOptions, stdout io.Writer) (*loadgenStats, error) {
 	if opt.Clients <= 0 {
 		opt.Clients = 32
 	}
@@ -65,11 +73,11 @@ func runLoadgen(opt loadgenOptions, stdout io.Writer) error {
 	for _, key := range opt.Corpus {
 		e, ok := workloads.ByKey(key)
 		if !ok {
-			return fmt.Errorf("loadgen: unknown workload %q (use aptget -list)", key)
+			return nil, fmt.Errorf("loadgen: unknown workload %q (use aptget -list)", key)
 		}
 		_, body, err := service.CollectProfile(e, core.DefaultConfig())
 		if err != nil {
-			return err
+			return nil, err
 		}
 		corpus = append(corpus, corpusItem{
 			app: key, body: body, fp: wire.FingerprintBytes(body),
@@ -88,7 +96,7 @@ func runLoadgen(opt loadgenOptions, stdout io.Writer) error {
 		srv := service.New(service.Config{MaxInflight: inflight})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan error, 1)
@@ -231,8 +239,15 @@ func runLoadgen(opt loadgenOptions, stdout io.Writer) error {
 		"latency ms (POST profile + GET plans): mean=%.2f P50=%.2f P90=%.2f P99=%.2f max=%.2f (n=%d)\n",
 		sum.Mean, sum.P50, sum.P90, sum.P99, sum.Max, sum.N)
 
-	if firstErr != nil {
-		return fmt.Errorf("%d request(s) failed hard; first: %w", failed.Load(), firstErr)
+	stats := &loadgenStats{
+		OK:       ok.Load(),
+		Rejected: rejected.Load(),
+		Failed:   failed.Load(),
+		Elapsed:  elapsed,
+		Latency:  sum,
 	}
-	return nil
+	if firstErr != nil {
+		return stats, fmt.Errorf("%d request(s) failed hard; first: %w", failed.Load(), firstErr)
+	}
+	return stats, nil
 }

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -31,6 +33,45 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// startProfiling starts a CPU profile and/or arranges a heap profile,
+// as requested; the returned stop function finalizes both. It works in
+// every mode (-exp, -bench, -loadgen) so any hot path can be inspected
+// with `go tool pprof` (see EXPERIMENTS.md for a worked session).
+func startProfiling(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // flush recently-freed objects out of the heap profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("write heap profile: %w", err)
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
 }
 
 // run is the testable CLI body. Exit status: 0 on success (including
@@ -45,6 +86,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "worker pool width (0 = GOMAXPROCS, 1 = serial)")
 	bench := fs.Bool("bench", false, "time every experiment + substrate microbenchmarks, write -benchout")
 	benchout := fs.String("benchout", "BENCH_substrate.json", "perf report path for -bench")
+	serveout := fs.String("serveout", "BENCH_serve.json", "serve-path perf report for -bench")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (any mode)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit (any mode)")
 	report := fs.String("report", "", "write per-stage/per-plan observability records to this JSON file")
 	trace := fs.Bool("trace", false, "print a human-readable pipeline trace after the experiments")
 	loadgen := fs.Bool("loadgen", false, "replay a profile corpus against a plan service and report throughput/latency")
@@ -58,8 +102,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	runner.SetMaxWorkers(*workers)
 
+	stopProf, err := startProfiling(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(stderr, "aptbench: %v\n", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(stderr, "aptbench: %v\n", err)
+		}
+	}()
+
 	if *loadgen {
-		err := runLoadgen(loadgenOptions{
+		_, err := runLoadgen(loadgenOptions{
 			Addr:     *addr,
 			Clients:  *clients,
 			Requests: *requests,
@@ -75,6 +130,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *bench {
 		if err := runBench(*quick, *benchout); err != nil {
+			fmt.Fprintf(stderr, "aptbench: %v\n", err)
+			return 1
+		}
+		if err := runServeBench(*quick, *serveout); err != nil {
 			fmt.Fprintf(stderr, "aptbench: %v\n", err)
 			return 1
 		}

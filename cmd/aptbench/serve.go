@@ -1,0 +1,214 @@
+package main
+
+// The serve-path half of -bench: where BENCH_substrate.json tracks the
+// simulator substrate, BENCH_serve.json tracks the analysis + serving hot
+// paths this repo optimizes — CWT peak detection over large histograms,
+// wire encode/decode throughput, and the end-to-end in-process serving
+// latency under concurrent load. Regenerate with:
+//
+//	go run ./cmd/aptbench -bench -quick
+//
+// (drop -quick for the committed full-sweep baselines).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"aptget/internal/core"
+	"aptget/internal/peaks"
+	"aptget/internal/service"
+	"aptget/internal/wire"
+	"aptget/internal/workloads"
+)
+
+// CWTTiming is one ladder size's per-detection wall time.
+type CWTTiming struct {
+	Bins    int     `json:"bins"`
+	Widths  int     `json:"widths"`
+	MsPerOp float64 `json:"ms_per_op"`
+}
+
+// WireTiming is the profile codec's throughput on a real collected
+// profile.
+type WireTiming struct {
+	App            string  `json:"app"`
+	ProfileBytes   int     `json:"profile_bytes"`
+	EncodeMBPerSec float64 `json:"encode_mb_per_sec"`
+	DecodeMBPerSec float64 `json:"decode_mb_per_sec"`
+}
+
+// LoadgenTiming is the in-process serving stack under concurrent load.
+type LoadgenTiming struct {
+	Requests  int     `json:"requests"`
+	Clients   int     `json:"clients"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// ServeBenchReport is the schema of BENCH_serve.json.
+type ServeBenchReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Quick       bool          `json:"quick"`
+	CWT         []CWTTiming   `json:"cwt"`
+	Wire        WireTiming    `json:"wire"`
+	Loadgen     LoadgenTiming `json:"loadgen"`
+}
+
+// serveHistogram builds a multimodal latency-histogram lookalike: four
+// gaussian populations plus a deterministic ripple, the same shape the
+// peaks package benchmarks use.
+func serveHistogram(n int) []float64 {
+	out := make([]float64, n)
+	centers := []float64{0.12, 0.35, 0.58, 0.85}
+	heights := []float64{900, 1400, 700, 400}
+	sigma := float64(n) / 90
+	for i := range out {
+		x := float64(i)
+		for j, c := range centers {
+			d := (x - c*float64(n)) / sigma
+			out[i] += heights[j] * math.Exp(-d*d/2)
+		}
+	}
+	seed := uint64(0x9e3779b97f4a7c15)
+	for i := range out {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		out[i] += float64(seed%97) / 10
+	}
+	return out
+}
+
+// serveLadderSizes picks the histogram sizes the CWT timing sweeps.
+func serveLadderSizes(quick bool) []int {
+	if quick {
+		return []int{400, 2048}
+	}
+	return []int{400, 2048, 8192}
+}
+
+// timeCWT measures one full peak detection (ladder + ridge walk) at the
+// given histogram size.
+func timeCWT(bins int) CWTTiming {
+	sig := serveHistogram(bins)
+	maxW := bins / 8
+	if maxW > peaks.MaxAutoWidth {
+		maxW = peaks.MaxAutoWidth
+	}
+	widths := peaks.DefaultWidths(maxW)
+	var iters int
+	start := time.Now()
+	for time.Since(start) < minBenchTime {
+		peaks.FindPeaksCWT(sig, widths, peaks.Options{})
+		iters++
+	}
+	return CWTTiming{
+		Bins:    bins,
+		Widths:  len(widths),
+		MsPerOp: time.Since(start).Seconds() * 1e3 / float64(iters),
+	}
+}
+
+// timeWire measures the codec round-trip throughput on a collected
+// profile of the given workload.
+func timeWire(app string) (WireTiming, error) {
+	e, ok := workloads.ByKey(app)
+	if !ok {
+		return WireTiming{}, fmt.Errorf("serve bench: unknown workload %q", app)
+	}
+	_, body, err := service.CollectProfile(e, core.DefaultConfig())
+	if err != nil {
+		return WireTiming{}, err
+	}
+	prof, err := wire.DecodeProfile(body)
+	if err != nil {
+		return WireTiming{}, fmt.Errorf("serve bench: decode %s profile: %w", app, err)
+	}
+
+	var decIters int
+	start := time.Now()
+	for time.Since(start) < minBenchTime {
+		if _, err := wire.DecodeProfile(body); err != nil {
+			return WireTiming{}, err
+		}
+		decIters++
+	}
+	decRate := float64(len(body)*decIters) / time.Since(start).Seconds() / 1e6
+
+	var encIters int
+	start = time.Now()
+	for time.Since(start) < minBenchTime {
+		wire.EncodeProfile(prof)
+		encIters++
+	}
+	encRate := float64(len(body)*encIters) / time.Since(start).Seconds() / 1e6
+
+	return WireTiming{
+		App:            app,
+		ProfileBytes:   len(body),
+		EncodeMBPerSec: encRate,
+		DecodeMBPerSec: decRate,
+	}, nil
+}
+
+// runServeBench measures the serve-path hot paths and writes the report
+// to outPath.
+func runServeBench(quick bool, outPath string) error {
+	report := ServeBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Quick:       quick,
+	}
+
+	for _, bins := range serveLadderSizes(quick) {
+		t := timeCWT(bins)
+		report.CWT = append(report.CWT, t)
+		fmt.Printf("bench %-10s %8.2fms/op (%d bins, %d widths)\n",
+			"cwt", t.MsPerOp, t.Bins, t.Widths)
+	}
+
+	wt, err := timeWire("IS")
+	if err != nil {
+		return err
+	}
+	report.Wire = wt
+	fmt.Printf("bench %-10s %8.1fMB/s decode, %.1fMB/s encode (%d-byte profile)\n",
+		"wire", wt.DecodeMBPerSec, wt.EncodeMBPerSec, wt.ProfileBytes)
+
+	lgOpt := loadgenOptions{Clients: 8, Requests: 192, Corpus: []string{"IS"}}
+	if quick {
+		lgOpt.Requests = 96
+	}
+	stats, err := runLoadgen(lgOpt, io.Discard)
+	if err != nil {
+		return fmt.Errorf("serve bench: loadgen: %w", err)
+	}
+	report.Loadgen = LoadgenTiming{
+		Requests:  lgOpt.Requests,
+		Clients:   lgOpt.Clients,
+		ReqPerSec: float64(stats.OK) / stats.Elapsed.Seconds(),
+		P50Ms:     stats.Latency.P50,
+		P99Ms:     stats.Latency.P99,
+	}
+	fmt.Printf("bench %-10s %8.1freq/s P50=%.2fms P99=%.2fms\n",
+		"serve", report.Loadgen.ReqPerSec, report.Loadgen.P50Ms, report.Loadgen.P99Ms)
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: wrote %s\n", outPath)
+	return nil
+}

@@ -413,13 +413,16 @@ func measureLoop(latch, breakers []uint64, samples []lbr.Sample, opt Options) Lo
 		return lt
 	}
 	h := peaks.NewHistogram(lt.Latencies, opt.BinWidth)
+	defer h.Release()
 	lt.HistClampedOutliers = h.ClampedOutliers
 	lt.HistDroppedNonFinite = h.DroppedNonFinite
 	if len(h.Counts) >= peaks.MaxBins {
 		lt.DegenerateSpan = true
 		return lt
 	}
-	lt.Peaks = h.Peaks(0, opt.PeakOpts)
+	popt := opt.PeakOpts
+	popt.Obs = opt.Obs
+	lt.Peaks = h.Peaks(0, popt)
 	switch {
 	case len(lt.Peaks) >= 2:
 		highest := lt.Peaks[len(lt.Peaks)-1]

@@ -210,6 +210,9 @@ func execute(w Workload, p *ir.Program, cfg Config, variant string,
 				w.Name(), variant, err)
 		}
 	}
+	// Verification was the last reader of the simulated memory: recycle
+	// the arena for the next run of this workload size.
+	res.Hier.Release()
 	return &Result{
 		Variant:  variant,
 		Counters: res.Counters,

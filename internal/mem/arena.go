@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Arena is the simulated program memory: a flat little-endian
 // byte-addressable store. It carries the *values*; timing is the
@@ -10,9 +13,51 @@ type Arena struct {
 	data []byte
 }
 
-// NewArena allocates an arena of the given size in bytes.
+// arenaPool keeps a small free list of recycled arenas per size. The
+// pipeline allocates one multi-megabyte arena per simulated run and the
+// runner fans runs out over a worker pool, so without reuse every run
+// pays the page faults of touching a fresh allocation. Recycled arenas
+// are zeroed before they are handed out again — workloads' InitMem
+// assumes zeroed memory.
+var arenaPool struct {
+	sync.Mutex
+	bySize map[int64][]*Arena
+}
+
+// arenaPoolPerSize bounds how many arenas of one size the pool retains;
+// beyond it, recycled arenas are dropped for the GC.
+const arenaPoolPerSize = 4
+
+// NewArena returns an arena of the given size in bytes, zeroed, reusing
+// a recycled arena of the same size when one is available.
 func NewArena(size int64) *Arena {
+	arenaPool.Lock()
+	if list := arenaPool.bySize[size]; len(list) > 0 {
+		a := list[len(list)-1]
+		arenaPool.bySize[size] = list[:len(list)-1]
+		arenaPool.Unlock()
+		clear(a.data)
+		return a
+	}
+	arenaPool.Unlock()
 	return &Arena{data: make([]byte, size)}
+}
+
+// Recycle returns the arena to the pool for reuse by a later NewArena of
+// the same size. The caller must not touch the arena afterwards.
+func (a *Arena) Recycle() {
+	if a == nil || len(a.data) == 0 {
+		return
+	}
+	arenaPool.Lock()
+	if arenaPool.bySize == nil {
+		arenaPool.bySize = make(map[int64][]*Arena)
+	}
+	size := int64(len(a.data))
+	if len(arenaPool.bySize[size]) < arenaPoolPerSize {
+		arenaPool.bySize[size] = append(arenaPool.bySize[size], a)
+	}
+	arenaPool.Unlock()
 }
 
 // Size returns the arena size in bytes.

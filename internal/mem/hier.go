@@ -153,6 +153,18 @@ func New(cfg Config, arenaSize int64) *Hierarchy {
 	return h
 }
 
+// Release recycles the hierarchy's arena for a later run of the same
+// memory size. Call it only when nothing reads the arena anymore — the
+// Arena pointer is nilled so a late access fails loudly instead of
+// observing another run's memory.
+func (h *Hierarchy) Release() {
+	if h == nil || h.Arena == nil {
+		return
+	}
+	h.Arena.Recycle()
+	h.Arena = nil
+}
+
 func lineOf(addr int64) int64 { return addr >> lineShift }
 
 // drain completes every fill whose ready time has passed, installing lines

@@ -1,0 +1,81 @@
+package peaks
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// benchHistogram builds a histogram-like signal of n bins with four
+// latency populations (the Figure 4 shape scaled to n), plus a little
+// deterministic ripple so no two bins tie exactly.
+func benchHistogram(n int) []float64 {
+	sig := make([]float64, n)
+	for _, cf := range []float64{0.10, 0.29, 0.50, 0.81} {
+		c := cf * float64(n)
+		sigma := float64(n) / 100
+		for i := range sig {
+			d := float64(i) - c
+			sig[i] += 100 * math.Exp(-d*d/(2*sigma*sigma))
+		}
+	}
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range sig {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		sig[i] += float64(x%1000) / 1000
+	}
+	return sig
+}
+
+// ladderWidths mirrors Histogram.Peaks' automatic width ladder: bins/8
+// capped at MaxAutoWidth.
+func ladderWidths(n int) []int {
+	maxWidth := n / 8
+	if maxWidth > MaxAutoWidth {
+		maxWidth = MaxAutoWidth
+	}
+	if maxWidth < 2 {
+		maxWidth = 2
+	}
+	return DefaultWidths(maxWidth)
+}
+
+// BenchmarkHotCWTLadder is the analysis hot path end to end: the full
+// width-ladder CWT peak detection on histograms from Figure 4 size up to
+// the large degenerate-profile sizes the serve path sees under load.
+// Tracked by the CI bench gate.
+func BenchmarkHotCWTLadder(b *testing.B) {
+	for _, n := range []int{400, 2048, 8192, 32768} {
+		sig := benchHistogram(n)
+		widths := ladderWidths(n)
+		b.Run(fmt.Sprintf("bins=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := FindPeaksCWT(sig, widths, Options{}); len(got) == 0 {
+					b.Fatal("no peaks")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHotCWTRow times one CWT row (signal ⊛ widest Ricker wavelet
+// of the ladder) — the unit the FFT cutover decides on.
+func BenchmarkHotCWTRow(b *testing.B) {
+	for _, n := range []int{400, 8192, 32768} {
+		sig := benchHistogram(n)
+		widths := ladderWidths(n)
+		w := widths[len(widths)-1]
+		b.Run(fmt.Sprintf("bins=%d/width=%d", n, w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows := CWT(sig, []int{w})
+				if len(rows[0]) != n {
+					b.Fatal("bad row")
+				}
+			}
+		})
+	}
+}

@@ -12,7 +12,12 @@
 // are long and loud enough.
 package peaks
 
-import "math"
+import (
+	"math"
+	"sort"
+
+	"aptget/internal/obs"
+)
 
 // Ricker returns the Ricker wavelet with the given width parameter a,
 // sampled at `points` positions centred on zero — the same construction
@@ -31,8 +36,15 @@ func Ricker(points int, a float64) []float64 {
 // convolveSame convolves signal with kernel and returns the centre
 // (len(signal)) samples — numpy.convolve(..., mode="same").
 func convolveSame(signal, kernel []float64) []float64 {
+	out := make([]float64, len(signal))
+	convolveSameInto(out, signal, kernel)
+	return out
+}
+
+// convolveSameInto is convolveSame writing into caller-owned storage
+// (len(out) == len(signal)).
+func convolveSameInto(out, signal, kernel []float64) {
 	n, m := len(signal), len(kernel)
-	out := make([]float64, n)
 	// full convolution index f = s + k; "same" keeps f in
 	// [m/2, m/2 + n). numpy centres an even-length kernel on the
 	// *right* of the two middle taps (off = m/2), which only differs
@@ -56,27 +68,22 @@ func convolveSame(signal, kernel []float64) []float64 {
 		}
 		out[i] = sum
 	}
-	return out
 }
 
 // CWT computes the continuous wavelet transform matrix: one row per
 // width, each row the signal convolved with a Ricker wavelet of that
-// width.
+// width. scipy convolves with the reversed wavelet; Ricker is symmetric
+// so plain convolution is identical. Large signals take the FFT path
+// (see fft.go); the returned rows are freshly allocated either way.
 func CWT(signal []float64, widths []int) [][]float64 {
-	out := make([][]float64, len(widths))
-	for i, w := range widths {
-		points := 10*w + 1
-		if points > len(signal) {
-			points = len(signal)
-		}
-		if points < 3 {
-			points = 3
-		}
-		wav := Ricker(points, float64(w))
-		// scipy convolves with the reversed wavelet; Ricker is symmetric
-		// so plain convolution is identical.
-		out[i] = convolveSame(signal, wav)
+	st := cwtScratchPool.Get().(*cwtScratch)
+	rows := st.cwtMatrix(signal, widths, convModeAuto, nil)
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = make([]float64, len(r))
+		copy(out[i], r)
 	}
+	cwtScratchPool.Put(st)
 	return out
 }
 
@@ -192,10 +199,20 @@ type Options struct {
 	NoisePerc      float64 // percentile of |cwt[0]| used as noise floor (default 10)
 	WindowSize     int     // noise estimation window (default len(signal)/20)
 	MinRelStrength float64 // min origin response relative to strongest ridge (default 0.02; <0 disables)
+
+	// Obs, when non-nil, receives the ladder's backend and memoization
+	// counters (ricker_cache_hits, kernel_spectrum_hits, cwt_fft_rows, …).
+	Obs *obs.Span
 }
 
 // FindPeaksCWT returns the indices of peaks in signal, smallest first.
 func FindPeaksCWT(signal []float64, widths []int, opt Options) []int {
+	return findPeaksCWTMode(signal, widths, opt, convModeAuto)
+}
+
+// findPeaksCWTMode is FindPeaksCWT with an explicit convolution backend;
+// the forced modes back the direct-vs-FFT bin-identity tests.
+func findPeaksCWTMode(signal []float64, widths []int, opt Options, mode convMode) []int {
 	if len(signal) == 0 || len(widths) == 0 {
 		return nil
 	}
@@ -224,7 +241,10 @@ func FindPeaksCWT(signal []float64, widths []int, opt Options) []int {
 		opt.MinRelStrength = 0.02
 	}
 
-	cwt := CWT(signal, widths)
+	var counters cwtCounters
+	st := cwtScratchPool.Get().(*cwtScratch)
+	defer cwtScratchPool.Put(st)
+	cwt := st.cwtMatrix(signal, widths, mode, &counters)
 	maxDistances := make([]int, len(widths))
 	for i, w := range widths {
 		d := w / 4
@@ -236,7 +256,10 @@ func FindPeaksCWT(signal []float64, widths []int, opt Options) []int {
 	lines := identifyRidgeLines(cwt, maxDistances, opt.GapThresh)
 
 	// Noise floor per position from the smallest-scale row.
-	row0 := make([]float64, len(cwt[0]))
+	if cap(st.row0) < len(cwt[0]) {
+		st.row0 = make([]float64, len(cwt[0]))
+	}
+	row0 := st.row0[:len(cwt[0])]
 	for i, v := range cwt[0] {
 		row0[i] = math.Abs(v)
 	}
@@ -275,7 +298,7 @@ func FindPeaksCWT(signal []float64, widths []int, opt Options) []int {
 		if hi > len(row0) {
 			hi = len(row0)
 		}
-		noise := percentile(row0[lo:hi], opt.NoisePerc)
+		noise := percentileScratch(&st.noise, row0[lo:hi], opt.NoisePerc)
 		if noise <= 0 {
 			noise = 1e-12
 		}
@@ -306,6 +329,15 @@ func FindPeaksCWT(signal []float64, widths []int, opt Options) []int {
 		}
 		out = append(out, p)
 	}
+
+	if sp := opt.Obs; sp != nil {
+		sp.Add("ricker_cache_hits", counters.waveletHits)
+		sp.Add("ricker_cache_misses", counters.waveletMisses)
+		sp.Add("kernel_spectrum_hits", counters.spectrumHits)
+		sp.Add("kernel_spectrum_misses", counters.spectrumMisses)
+		sp.Add("cwt_fft_rows", counters.fftRows)
+		sp.Add("cwt_direct_rows", counters.directRows)
+	}
 	return out
 }
 
@@ -325,6 +357,24 @@ func percentile(values []float64, p float64) float64 {
 	}
 	cp := append([]float64(nil), values...)
 	sortFloats(cp)
+	return sortedPercentile(cp, p)
+}
+
+// percentileScratch is percentile with a caller-owned copy buffer, so
+// the per-candidate noise windows of a ladder reuse one allocation.
+func percentileScratch(buf *[]float64, values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	*buf = append((*buf)[:0], values...)
+	cp := *buf
+	if len(cp) > 64 {
+		// Large serve-path windows: O(n log n) sort. The sorted order —
+		// and hence the percentile — is identical to sortFloats'.
+		sort.Float64s(cp)
+	} else {
+		sortFloats(cp)
+	}
 	return sortedPercentile(cp, p)
 }
 

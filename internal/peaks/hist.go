@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // MaxBins caps the bin count of a histogram. Latency distributions of
@@ -32,6 +33,41 @@ type Histogram struct {
 	// DroppedNonFinite counts NaN/±Inf samples dropped outright: they
 	// have no bin, and one NaN would otherwise poison the range.
 	DroppedNonFinite int
+}
+
+// countsPool recycles Counts buffers between histograms. The analysis
+// stage builds one histogram per inner loop per profile, each up to
+// MaxBins bins; pooling keeps the steady-state allocation rate flat.
+var countsPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getCounts returns a zeroed float64 slice of length n, reusing pooled
+// capacity when possible.
+func getCounts(n int) []float64 {
+	bp := countsPool.Get().(*[]float64)
+	if cap(*bp) >= n {
+		s := (*bp)[:n]
+		*bp = nil
+		countsPool.Put(bp)
+		clear(s)
+		return s
+	}
+	countsPool.Put(bp)
+	return make([]float64, n)
+}
+
+// Release returns the histogram's Counts buffer to the pool. Callers that
+// have finished with the histogram (including any peak detection — the
+// returned peak positions do not alias Counts) may call it to recycle the
+// buffer; the histogram must not be used afterwards.
+func (h *Histogram) Release() {
+	if h == nil || h.Counts == nil {
+		return
+	}
+	buf := h.Counts
+	h.Counts = nil
+	bp := countsPool.Get().(*[]float64)
+	*bp = buf[:0]
+	countsPool.Put(bp)
 }
 
 // NewHistogram bins the samples with the given bin width. The range is
@@ -67,7 +103,7 @@ func NewHistogram(samples []float64, binWidth float64) *Histogram {
 	if span := (hi - lo) / binWidth; span < float64(MaxBins-1) {
 		n = int(span) + 1
 	}
-	h.Counts = make([]float64, n)
+	h.Counts = getCounts(n)
 	for _, s := range samples {
 		if math.IsNaN(s) || math.IsInf(s, 0) {
 			continue

@@ -79,6 +79,9 @@ func Collect(p *ir.Program, cfg mem.Config, initMem func(*mem.Arena), opt Option
 	if err != nil {
 		return nil, fmt.Errorf("profile: %w", err)
 	}
+	// The profiling run's memory is only needed while the program executes;
+	// the samples and counters below are plain values. Recycle the arena.
+	res.Hier.Release()
 	loads := res.PEBS.Delinquent(opt.DelinquentShare)
 	candidates := len(loads)
 	// Gate on the absolute miss rate: each PEBS sample stands for

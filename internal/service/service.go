@@ -30,7 +30,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"sync/atomic"
@@ -242,19 +241,28 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	// Reject oversized uploads before reading a single body byte when the
+	// client declares its length — the stream is never consumed.
+	if r.ContentLength > s.cfg.MaxBodyBytes {
+		s.sp.Add("requests_rejected_oversize", 1)
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error: fmt.Sprintf("declared body length %d exceeds limit %d",
+				r.ContentLength, s.cfg.MaxBodyBytes),
+		})
+		return
+	}
+
+	// Stream-decode the frame: the body is hashed and validated as it
+	// arrives, so a malformed or non-canonical upload fails without ever
+	// being buffered whole.
+	prof, fp, err := wire.DecodeProfileFrom(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		status := http.StatusBadRequest
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
 			status = http.StatusRequestEntityTooLarge
 		}
-		writeJSON(w, status, errorResponse{Error: "reading body: " + err.Error()})
-		return
-	}
-	prof, err := wire.DecodeProfile(body)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
 	if err := prof.Validate(); err != nil {
@@ -267,10 +275,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// The decoder enforces canonical frames, so the received bytes ARE
-	// the canonical encoding: fingerprint them directly.
+	// The decoder enforces canonical frames and hashed the body as it
+	// streamed past, so fp IS the canonical content address.
 	key := planstore.Key{
-		Profile: wire.FingerprintBytes(body),
+		Profile: fp,
 		Shape:   prof.ShapeHash(),
 	}
 	plans, res, err := s.store.GetOrCompute(key, func() ([]byte, error) {

@@ -398,6 +398,18 @@ func TestServeGracefulShutdown(t *testing.T) {
 	}
 }
 
+// readTracker counts Reads so a test can assert a body was never
+// consumed.
+type readTracker struct {
+	r     io.Reader
+	reads int
+}
+
+func (rt *readTracker) Read(p []byte) (int, error) {
+	rt.reads++
+	return rt.r.Read(p)
+}
+
 func TestErrorPaths(t *testing.T) {
 	ts := httptest.NewServer(New(Config{MaxBodyBytes: 1024}).Handler())
 	defer ts.Close()
@@ -419,6 +431,20 @@ func TestErrorPaths(t *testing.T) {
 	// Unknown fingerprint → 404.
 	if status, _ := getPlans(t, ts, "deadbeefdeadbeefdeadbeefdeadbeef"); status != http.StatusNotFound {
 		t.Fatalf("missing plans = %d, want 404", status)
+	}
+	// Over-limit declared Content-Length → 413 before the body is read.
+	// Drive the handler directly so no client transport touches the body:
+	// the handler must reject on the declared length alone.
+	tracked := &readTracker{r: bytes.NewReader(bytes.Repeat([]byte("x"), 4096))}
+	req := httptest.NewRequest(http.MethodPost, "/v1/profiles", tracked)
+	req.ContentLength = 4096
+	rec := httptest.NewRecorder()
+	New(Config{MaxBodyBytes: 1024}).Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("declared-oversize ingest = %d, want 413", rec.Code)
+	}
+	if tracked.reads != 0 {
+		t.Fatalf("declared-oversize ingest read the body %d times, want 0", tracked.reads)
 	}
 	// Wrong method → 405 (Go 1.22 method patterns).
 	resp, err := http.Get(ts.URL + "/v1/profiles")

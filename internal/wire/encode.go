@@ -1,10 +1,10 @@
 package wire
 
 import (
-	"bytes"
 	"encoding/binary"
-	"fmt"
 	"math"
+	"math/bits"
+	"sync"
 
 	"aptget/internal/lbr"
 )
@@ -44,158 +44,66 @@ func (w *writer) f64s(v []float64) {
 	}
 }
 
-// reader decodes a frame, tracking position; every method fails softly
-// by setting err so the decoder body stays linear.
-type reader struct {
-	buf []byte
-	pos int
-	err error
+// uvarintLen is the encoded size of v (1–10 bytes, minimal form).
+func uvarintLen(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
+
+// varintLen is the encoded size of v under zigzag.
+func varintLen(v int64) int { return uvarintLen(uint64(v)<<1 ^ uint64(v>>63)) }
+
+// profileSize is the exact encoded length of an already-canonical
+// profile, so EncodeProfile can allocate its output in one shot.
+func profileSize(p *Profile) int {
+	n := len(magic) + uvarintLen(Version) + 1
+	n += uvarintLen(uint64(len(p.App))) + len(p.App)
+	n += uvarintLen(p.Cycles) + uvarintLen(p.Instructions)
+	n += uvarintLen(uint64(len(p.Loads)))
+	for _, l := range p.Loads {
+		n += uvarintLen(l.PC) + uvarintLen(l.Samples) + 8
+	}
+	n += uvarintLen(uint64(len(p.Samples)))
+	for _, s := range p.Samples {
+		n += uvarintLen(s.Cycle) + uvarintLen(uint64(len(s.Entries)))
+		for _, e := range s.Entries {
+			n += uvarintLen(e.From) + uvarintLen(e.To) + uvarintLen(e.Cycle)
+		}
+	}
+	n += uvarintLen(uint64(len(p.Loops)))
+	for _, l := range p.Loops {
+		n += varintLen(int64(l.Depth)) + varintLen(int64(l.Parent)) +
+			varintLen(int64(l.Latches)) + varintLen(int64(l.Blocks)) + 1
+	}
+	return n
 }
 
-func (r *reader) fail(format string, args ...any) {
-	if r.err == nil {
-		r.err = fmt.Errorf(format, args...)
-	}
+// sortScratch pools the shallow slice copies EncodeProfile sorts when
+// handed a non-canonical profile, so repeated encodes reuse one pair of
+// backing arrays instead of allocating them per call.
+type sortScratch struct {
+	loads   []Load
+	samples []lbr.Sample
 }
 
-func (r *reader) uint() uint64 {
-	if r.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(r.buf[r.pos:])
-	if n <= 0 {
-		r.fail("wire: truncated uvarint at offset %d", r.pos)
-		return 0
-	}
-	r.pos += n
-	return v
-}
-
-func (r *reader) int() int64 {
-	if r.err != nil {
-		return 0
-	}
-	v, n := binary.Varint(r.buf[r.pos:])
-	if n <= 0 {
-		r.fail("wire: truncated varint at offset %d", r.pos)
-		return 0
-	}
-	r.pos += n
-	return v
-}
-
-func (r *reader) f64() float64 {
-	if r.err != nil {
-		return 0
-	}
-	if r.pos+8 > len(r.buf) {
-		r.fail("wire: truncated float at offset %d", r.pos)
-		return 0
-	}
-	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.pos:]))
-	r.pos += 8
-	return v
-}
-
-func (r *reader) bool() bool {
-	if r.err != nil {
-		return false
-	}
-	if r.pos >= len(r.buf) {
-		r.fail("wire: truncated bool at offset %d", r.pos)
-		return false
-	}
-	b := r.buf[r.pos]
-	r.pos++
-	if b > 1 {
-		r.fail("wire: bad bool byte %d at offset %d", b, r.pos-1)
-		return false
-	}
-	return b == 1
-}
-
-func (r *reader) str() string {
-	n := r.count(1)
-	if r.err != nil {
-		return ""
-	}
-	s := string(r.buf[r.pos : r.pos+n])
-	r.pos += n
-	return s
-}
-
-// count reads a length prefix and validates it against the bytes left,
-// assuming each element needs at least elemMin bytes — an adversarial
-// frame cannot make the decoder allocate beyond its own size.
-func (r *reader) count(elemMin int) int {
-	v := r.uint()
-	if r.err != nil {
-		return 0
-	}
-	if v > uint64(len(r.buf)-r.pos)/uint64(elemMin) {
-		r.fail("wire: length %d exceeds remaining %d bytes at offset %d",
-			v, len(r.buf)-r.pos, r.pos)
-		return 0
-	}
-	return int(v)
-}
-
-func (r *reader) f64s() []float64 {
-	n := r.count(8)
-	if r.err != nil || n == 0 {
-		return nil
-	}
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = r.f64()
-	}
-	return out
-}
-
-// header checks magic, version, and kind; returns a reader positioned at
-// the first field.
-func header(data []byte, kind byte) (*reader, error) {
-	r := &reader{buf: data}
-	if len(data) < len(magic)+2 || string(data[:4]) != string(magic[:]) {
-		return nil, fmt.Errorf("wire: bad magic")
-	}
-	r.pos = len(magic)
-	if v := r.uint(); r.err == nil && v != Version {
-		return nil, fmt.Errorf("wire: version %d, this decoder speaks %d", v, Version)
-	}
-	if r.err != nil {
-		return nil, r.err
-	}
-	if r.pos >= len(r.buf) {
-		return nil, fmt.Errorf("wire: truncated header")
-	}
-	if got := r.buf[r.pos]; got != kind {
-		return nil, fmt.Errorf("wire: frame kind %d, want %d", got, kind)
-	}
-	r.pos++
-	return r, nil
-}
-
-// finish rejects trailing bytes — a frame is exactly its fields.
-func (r *reader) finish() error {
-	if r.err != nil {
-		return r.err
-	}
-	if r.pos != len(r.buf) {
-		return fmt.Errorf("wire: %d trailing bytes after frame", len(r.buf)-r.pos)
-	}
-	return nil
-}
+var sortScratchPool = sync.Pool{New: func() any { return new(sortScratch) }}
 
 // EncodeProfile renders the canonical byte form of p. The input is not
-// mutated; its slices are sorted on a shallow copy.
+// mutated; a non-canonical input is sorted on a pooled shallow copy,
+// and an already-canonical one (the served steady state) is written
+// directly with no copying at all.
 func EncodeProfile(p *Profile) []byte {
 	cp := *p
-	cp.Loads = append([]Load(nil), p.Loads...)
-	cp.Samples = append([]lbr.Sample(nil), p.Samples...)
-	cp.Canonicalize()
+	var sc *sortScratch
+	if !p.isCanonical() {
+		sc = sortScratchPool.Get().(*sortScratch)
+		sc.loads = append(sc.loads[:0], p.Loads...)
+		sc.samples = append(sc.samples[:0], p.Samples...)
+		cp.Loads, cp.Samples = sc.loads, sc.samples
+		cp.Canonicalize()
+	}
 
-	w := newWriter(KindProfile)
+	w := &writer{buf: make([]byte, 0, profileSize(&cp))}
+	w.buf = append(w.buf, magic[:]...)
+	w.uint(Version)
+	w.buf = append(w.buf, KindProfile)
 	w.str(cp.App)
 	w.uint(cp.Cycles)
 	w.uint(cp.Instructions)
@@ -223,63 +131,10 @@ func EncodeProfile(p *Profile) []byte {
 		w.int(int64(l.Blocks))
 		w.bool(l.HasInduction)
 	}
+	if sc != nil {
+		sortScratchPool.Put(sc)
+	}
 	return w.buf
-}
-
-// DecodeProfile parses a profile frame. The result is canonical (Encode
-// wrote it that way); trailing bytes, truncation, and absurd lengths are
-// errors, never panics — this is the service's network-facing parser.
-func DecodeProfile(data []byte) (*Profile, error) {
-	r, err := header(data, KindProfile)
-	if err != nil {
-		return nil, err
-	}
-	p := &Profile{}
-	p.App = r.str()
-	p.Cycles = r.uint()
-	p.Instructions = r.uint()
-	if n := r.count(3); r.err == nil && n > 0 {
-		p.Loads = make([]Load, n)
-		for i := range p.Loads {
-			p.Loads[i] = Load{PC: r.uint(), Samples: r.uint(), Share: r.f64()}
-		}
-	}
-	if n := r.count(2); r.err == nil && n > 0 {
-		p.Samples = make([]lbr.Sample, n)
-		for i := range p.Samples {
-			p.Samples[i].Cycle = r.uint()
-			if m := r.count(3); r.err == nil && m > 0 {
-				p.Samples[i].Entries = make([]lbr.Entry, m)
-				for j := range p.Samples[i].Entries {
-					p.Samples[i].Entries[j] = lbr.Entry{
-						From: r.uint(), To: r.uint(), Cycle: r.uint(),
-					}
-				}
-			}
-		}
-	}
-	if n := r.count(5); r.err == nil && n > 0 {
-		p.Loops = make([]LoopShape, n)
-		for i := range p.Loops {
-			p.Loops[i] = LoopShape{
-				Depth:        int32(r.int()),
-				Parent:       int32(r.int()),
-				Latches:      int32(r.int()),
-				Blocks:       int32(r.int()),
-				HasInduction: r.bool(),
-			}
-		}
-	}
-	if err := r.finish(); err != nil {
-		return nil, err
-	}
-	// Strict canonicality: the only accepted frames are the ones Encode
-	// emits. A padded varint or unsorted load list would otherwise give
-	// one logical profile two fingerprints and split the plan cache.
-	if !bytes.Equal(EncodeProfile(p), data) {
-		return nil, fmt.Errorf("wire: frame is not canonical")
-	}
-	return p, nil
 }
 
 // EncodePlanSet renders the canonical byte form of ps. Plan order is the
@@ -307,42 +162,4 @@ func EncodePlanSet(ps *PlanSet) []byte {
 		w.str(p.Fallback)
 	}
 	return w.buf
-}
-
-// DecodePlanSet parses a plan-set frame.
-func DecodePlanSet(data []byte) (*PlanSet, error) {
-	r, err := header(data, KindPlanSet)
-	if err != nil {
-		return nil, err
-	}
-	ps := &PlanSet{}
-	ps.App = r.str()
-	if n := r.count(10); r.err == nil && n > 0 {
-		ps.Plans = make([]Plan, n)
-		for i := range ps.Plans {
-			p := &ps.Plans[i]
-			p.LoadPC = r.uint()
-			p.LoadName = r.str()
-			p.Site = r.str()
-			p.Distance = r.int()
-			p.IC = r.f64()
-			p.MC = r.f64()
-			p.AvgTrip = r.f64()
-			p.K = r.int()
-			p.InnerDistance = r.int()
-			p.OuterDistance = r.int()
-			p.PeaksInner = r.f64s()
-			p.PeaksOuter = r.f64s()
-			p.LatencySamples = r.int()
-			p.DroppedNonMonotonic = r.int()
-			p.Fallback = r.str()
-		}
-	}
-	if err := r.finish(); err != nil {
-		return nil, err
-	}
-	if !bytes.Equal(EncodePlanSet(ps), data) {
-		return nil, fmt.Errorf("wire: frame is not canonical")
-	}
-	return ps, nil
 }

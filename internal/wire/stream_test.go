@@ -1,0 +1,215 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/iotest"
+)
+
+// TestDecodeProfileFromMatchesDecodeProfile: the streaming decoder must
+// accept exactly what the in-memory decoder accepts, produce the same
+// value, and fingerprint the consumed bytes identically — regardless of
+// how the reader chunks the body.
+func TestDecodeProfileFromMatchesDecodeProfile(t *testing.T) {
+	for _, n := range []int{0, 1, 64, 700} {
+		p := benchProfile(n)
+		data := EncodeProfile(p)
+		want, err := DecodeProfile(data)
+		if err != nil {
+			t.Fatalf("samples=%d: DecodeProfile: %v", n, err)
+		}
+		wantFP := FingerprintBytes(data)
+
+		for _, tc := range []struct {
+			name string
+			r    func() *bytes.Reader
+		}{
+			{"whole", func() *bytes.Reader { return bytes.NewReader(data) }},
+		} {
+			got, fp, err := DecodeProfileFrom(tc.r())
+			if err != nil {
+				t.Fatalf("samples=%d %s: DecodeProfileFrom: %v", n, tc.name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("samples=%d %s: stream decode differs from in-memory decode", n, tc.name)
+			}
+			if fp != wantFP {
+				t.Fatalf("samples=%d %s: fingerprint %s, want %s", n, tc.name, fp, wantFP)
+			}
+		}
+
+		// One byte at a time: every refill boundary is exercised.
+		got, fp, err := DecodeProfileFrom(iotest.OneByteReader(bytes.NewReader(data)))
+		if err != nil {
+			t.Fatalf("samples=%d one-byte: %v", n, err)
+		}
+		if !reflect.DeepEqual(got, want) || fp != wantFP {
+			t.Fatalf("samples=%d one-byte: decode mismatch", n)
+		}
+	}
+}
+
+func TestDecodePlanSetFromMatchesDecodePlanSet(t *testing.T) {
+	ps := samplePlanSet()
+	data := EncodePlanSet(ps)
+	want, err := DecodePlanSet(data)
+	if err != nil {
+		t.Fatalf("DecodePlanSet: %v", err)
+	}
+	got, fp, err := DecodePlanSetFrom(iotest.OneByteReader(bytes.NewReader(data)))
+	if err != nil {
+		t.Fatalf("DecodePlanSetFrom: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("stream decode differs from in-memory decode")
+	}
+	if fp != FingerprintBytes(data) {
+		t.Fatalf("fingerprint %s, want %s", fp, FingerprintBytes(data))
+	}
+}
+
+func TestDecodeProfileFromRejects(t *testing.T) {
+	data := EncodeProfile(benchProfile(8))
+
+	if _, _, err := DecodeProfileFrom(bytes.NewReader(append(append([]byte(nil), data...), 0x00))); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing byte accepted: %v", err)
+	}
+	if _, _, err := DecodeProfileFrom(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if _, _, err := DecodeProfileFrom(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+// TestDecodeProfileFromBoundsAllocation: a stream that declares an
+// enormous element count but delivers almost no bytes must fail fast
+// without allocating anywhere near the declared size — the chunked
+// growth only ever runs ahead of the stream by one window.
+func TestDecodeProfileFromBoundsAllocation(t *testing.T) {
+	w := newWriter(KindProfile)
+	w.str("BFS")
+	w.uint(0)       // cycles
+	w.uint(0)       // instructions
+	w.uint(1 << 40) // loads: a terabyte's worth, none delivered
+	if _, _, err := DecodeProfileFrom(bytes.NewReader(w.buf)); err == nil {
+		t.Fatal("absurd load count accepted")
+	}
+}
+
+// TestDecodeRejectsNonCanonicalStream: the incremental checks must catch
+// what the old re-encode comparison caught — padded varints, unsorted
+// loads, int32 overflow — on both decoder entry points.
+func TestDecodeRejectsNonCanonicalStream(t *testing.T) {
+	p := benchProfile(4)
+	good := EncodeProfile(p)
+
+	mutate := func(name string, f func([]byte) []byte) {
+		bad := f(append([]byte(nil), good...))
+		if _, err := DecodeProfile(bad); err == nil {
+			t.Errorf("%s: DecodeProfile accepted", name)
+		}
+		if _, _, err := DecodeProfileFrom(bytes.NewReader(bad)); err == nil {
+			t.Errorf("%s: DecodeProfileFrom accepted", name)
+		}
+	}
+
+	// Pad the version varint: 0x01 -> 0x81 0x00 (same value, two bytes).
+	mutate("padded varint", func(b []byte) []byte {
+		out := append([]byte(nil), b[:4]...)
+		out = append(out, 0x81, 0x00)
+		return append(out, b[5:]...)
+	})
+
+	// Unsorted loads: encode a profile whose loads are swapped out of
+	// delinquency order, bypassing Canonicalize by writing fields by hand.
+	w := newWriter(KindProfile)
+	w.str("BFS")
+	w.uint(1)
+	w.uint(1)
+	w.uint(2)
+	w.uint(10) // PC=10, Samples=5
+	w.uint(5)
+	w.f64(0.2)
+	w.uint(20) // PC=20, Samples=9 — more delinquent, must come first
+	w.uint(9)
+	w.f64(0.8)
+	w.uint(0) // samples
+	w.uint(0) // loops
+	if _, err := DecodeProfile(w.buf); err == nil {
+		t.Error("unsorted loads accepted by DecodeProfile")
+	}
+	if _, _, err := DecodeProfileFrom(bytes.NewReader(w.buf)); err == nil {
+		t.Error("unsorted loads accepted by DecodeProfileFrom")
+	}
+
+	// Loop field beyond int32: the old decoder truncated and failed the
+	// re-encode comparison; the new one must reject outright.
+	w2 := newWriter(KindProfile)
+	w2.str("BFS")
+	w2.uint(1)
+	w2.uint(1)
+	w2.uint(0)      // loads
+	w2.uint(0)      // samples
+	w2.uint(1)      // loops
+	w2.int(1 << 40) // Depth overflows int32
+	w2.int(-1)
+	w2.int(1)
+	w2.int(1)
+	w2.bool(true)
+	if _, err := DecodeProfile(w2.buf); err == nil {
+		t.Error("int32 overflow accepted by DecodeProfile")
+	}
+	if _, _, err := DecodeProfileFrom(bytes.NewReader(w2.buf)); err == nil {
+		t.Error("int32 overflow accepted by DecodeProfileFrom")
+	}
+}
+
+// TestEncodeProfileFastPathMatchesSorted: the canonical fast path must
+// emit byte-identical frames to the copy-and-sort path.
+func TestEncodeProfileFastPathMatchesSorted(t *testing.T) {
+	p := benchProfile(32) // canonicalized by construction
+	fast := EncodeProfile(p)
+
+	// Shuffle a copy to force the sort path, then compare bytes.
+	shuffled := *p
+	shuffled.Loads = []Load{p.Loads[2], p.Loads[0], p.Loads[1]}
+	shuffled.Samples = append(shuffled.Samples[:0:0], p.Samples...)
+	for i, j := 0, len(shuffled.Samples)-1; i < j; i, j = i+1, j-1 {
+		shuffled.Samples[i], shuffled.Samples[j] = shuffled.Samples[j], shuffled.Samples[i]
+	}
+	slow := EncodeProfile(&shuffled)
+	if !bytes.Equal(fast, slow) {
+		t.Fatal("fast path and sort path disagree")
+	}
+}
+
+// Allocation regression locks for the zero/low-alloc claims. Decode
+// allocates the returned structures themselves (one Entries slice per
+// sample is the structural floor); encode of a canonical profile is a
+// single output-buffer allocation.
+func TestWireAllocsPerRun(t *testing.T) {
+	p := benchProfile(64)
+	data := EncodeProfile(p)
+
+	if got := testing.AllocsPerRun(200, func() { EncodeProfile(p) }); got > 2 {
+		t.Errorf("EncodeProfile(canonical): %.1f allocs/op, want <= 2", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if _, err := DecodeProfile(data); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 74 { // 64 entries slices + top-level structures
+		t.Errorf("DecodeProfile: %.1f allocs/op, want <= 74", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if _, _, err := DecodeProfileFrom(bytes.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 82 { // + reader, hasher, window
+		t.Errorf("DecodeProfileFrom: %.1f allocs/op, want <= 82", got)
+	}
+}

@@ -115,14 +115,36 @@ type PlanSet struct {
 // by (cycle, length, entries). It mutates the receiver.
 func (p *Profile) Canonicalize() {
 	sort.SliceStable(p.Loads, func(i, j int) bool {
-		if p.Loads[i].Samples != p.Loads[j].Samples {
-			return p.Loads[i].Samples > p.Loads[j].Samples
-		}
-		return p.Loads[i].PC < p.Loads[j].PC
+		return lessLoad(&p.Loads[i], &p.Loads[j])
 	})
 	sort.SliceStable(p.Samples, func(i, j int) bool {
 		return lessSample(&p.Samples[i], &p.Samples[j])
 	})
+}
+
+// isCanonical reports whether Canonicalize would leave p byte-for-byte
+// unchanged. Both predicates are strict weak orderings, so a slice with
+// no adjacent inversion is globally sorted, and a stable sort of a
+// sorted slice is the identity.
+func (p *Profile) isCanonical() bool {
+	for i := 1; i < len(p.Loads); i++ {
+		if lessLoad(&p.Loads[i], &p.Loads[i-1]) {
+			return false
+		}
+	}
+	for i := 1; i < len(p.Samples); i++ {
+		if lessSample(&p.Samples[i], &p.Samples[i-1]) {
+			return false
+		}
+	}
+	return true
+}
+
+func lessLoad(a, b *Load) bool {
+	if a.Samples != b.Samples {
+		return a.Samples > b.Samples
+	}
+	return a.PC < b.PC
 }
 
 func lessSample(a, b *lbr.Sample) bool {
