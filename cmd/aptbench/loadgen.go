@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"strings"
@@ -29,11 +30,26 @@ import (
 
 type loadgenOptions struct {
 	Addr     string   // plan service base address; empty = in-process
-	Clients  int      // concurrent clients
+	Clients  int      // concurrent clients (closed loop)
 	Requests int      // total requests across all clients
 	Corpus   []string // workload keys to replay
 	Quick    bool     // restrict the corpus to its first key
+
+	// Rate > 0 switches to open-loop arrivals: requests arrive as a
+	// Poisson process at Rate req/s regardless of completions (each in
+	// its own goroutine, up to maxOutstanding), so the run measures how
+	// the service behaves at a fixed *offered* load — including the drop
+	// and reject rate — instead of letting slow responses throttle the
+	// generator. Clients is ignored in this mode.
+	Rate float64
+	// Seed makes the Poisson arrival sequence reproducible (0 → 1).
+	Seed int64
 }
+
+// maxOutstanding caps concurrently in-flight open-loop requests. An
+// arrival past the cap is dropped and counted: the client gave up, the
+// open-loop equivalent of a queue overflow.
+const maxOutstanding = 1024
 
 // corpusItem is one replayable profile: the canonical POST body and the
 // fingerprint the plans come back under.
@@ -47,8 +63,20 @@ type corpusItem struct {
 // the printed report (the serve benchmark reuses it).
 type loadgenStats struct {
 	OK, Rejected, Failed int64
+	Dropped              int64 // open loop: arrivals past the outstanding cap
+	Offered              float64
 	Elapsed              time.Duration
 	Latency              peaks.Summary // per-request POST+GET milliseconds
+}
+
+// DropRejectRate is the fraction of offered requests not served OK —
+// the open-loop overload measurement.
+func (s *loadgenStats) DropRejectRate() float64 {
+	total := s.OK + s.Rejected + s.Failed + s.Dropped
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Rejected+s.Dropped) / float64(total)
 }
 
 // runLoadgen drives the load, prints the report, and returns an error
@@ -126,6 +154,7 @@ func runLoadgen(opt loadgenOptions, stdout io.Writer) (*loadgenStats, error) {
 		ok        atomic.Int64
 		rejected  atomic.Int64
 		failed    atomic.Int64
+		dropped   atomic.Int64 // open loop only
 		outcomes  sync.Map // outcome string -> *atomic.Int64
 		latencyMu sync.Mutex
 		latencies []float64 // per-request POST+GET milliseconds
@@ -202,31 +231,67 @@ func runLoadgen(opt loadgenOptions, stdout io.Writer) (*loadgenStats, error) {
 		countOutcome(ing.Outcome)
 	}
 
-	fmt.Fprintf(stdout, "loadgen: %d requests, %d concurrent clients -> %s\n",
-		opt.Requests, opt.Clients, base)
-	wall := time.Now()
 	var wg sync.WaitGroup
-	for c := 0; c < opt.Clients; c++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				n := next.Add(1) - 1
-				if n >= int64(opt.Requests) {
-					return
-				}
-				oneRequest(corpus[int(n)%len(corpus)])
+	var wall time.Time
+	if opt.Rate > 0 {
+		// Open loop: Poisson arrivals at the offered rate, each request in
+		// its own goroutine. Arrivals finding maxOutstanding requests
+		// already in flight are dropped, not queued — queuing would turn
+		// the run back into a closed loop.
+		seed := opt.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		fmt.Fprintf(stdout, "loadgen: open loop, %d arrivals at %.1f req/s (seed %d) -> %s\n",
+			opt.Requests, opt.Rate, seed, base)
+		sem := make(chan struct{}, maxOutstanding)
+		wall = time.Now()
+		arrival := wall
+		for n := 0; n < opt.Requests; n++ {
+			arrival = arrival.Add(time.Duration(rng.ExpFloat64() / opt.Rate * float64(time.Second)))
+			if d := time.Until(arrival); d > 0 {
+				time.Sleep(d)
 			}
-		}()
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func(item corpusItem) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					oneRequest(item)
+				}(corpus[n%len(corpus)])
+			default:
+				dropped.Add(1)
+			}
+		}
+		wg.Wait()
+	} else {
+		fmt.Fprintf(stdout, "loadgen: %d requests, %d concurrent clients -> %s\n",
+			opt.Requests, opt.Clients, base)
+		wall = time.Now()
+		for c := 0; c < opt.Clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					n := next.Add(1) - 1
+					if n >= int64(opt.Requests) {
+						return
+					}
+					oneRequest(corpus[int(n)%len(corpus)])
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	elapsed := time.Since(wall)
 
 	sum := peaks.Summarize(latencies)
-	fmt.Fprintf(stdout, "requests: %d ok, %d rejected (429), %d failed\n",
-		ok.Load(), rejected.Load(), failed.Load())
+	fmt.Fprintf(stdout, "requests: %d ok, %d rejected (429), %d failed, %d dropped\n",
+		ok.Load(), rejected.Load(), failed.Load(), dropped.Load())
 	var outcomeParts []string
-	for _, name := range []string{"miss", "hit", "stale_match"} {
+	for _, name := range []string{"miss", "hit", "stale_match", "handoff", "aggregated"} {
 		if v, loaded := outcomes.Load(name); loaded {
 			outcomeParts = append(outcomeParts,
 				fmt.Sprintf("%s=%d", name, v.(*atomic.Int64).Load()))
@@ -243,8 +308,14 @@ func runLoadgen(opt loadgenOptions, stdout io.Writer) (*loadgenStats, error) {
 		OK:       ok.Load(),
 		Rejected: rejected.Load(),
 		Failed:   failed.Load(),
+		Dropped:  dropped.Load(),
+		Offered:  opt.Rate,
 		Elapsed:  elapsed,
 		Latency:  sum,
+	}
+	if opt.Rate > 0 {
+		fmt.Fprintf(stdout, "open loop: offered %.1f req/s, achieved %.1f req/s, drop/reject rate %.2f%%\n",
+			opt.Rate, float64(stats.OK)/elapsed.Seconds(), 100*stats.DropRejectRate())
 	}
 	if firstErr != nil {
 		return stats, fmt.Errorf("%d request(s) failed hard; first: %w", failed.Load(), firstErr)

@@ -10,6 +10,7 @@
 //	aptbench -exp fig6 -trace                # human-readable pipeline trace
 //	aptbench -loadgen -clients 32            # load-test a plan service (in-process)
 //	aptbench -loadgen -addr host:7717        # ... or a live aptgetd
+//	aptbench -loadgen -rate 200 -requests 1000  # open-loop Poisson arrivals
 //
 // Experiments fan out over a GOMAXPROCS-sized worker pool; -workers pins
 // the pool width (1 = serial). Output is identical at any width.
@@ -96,6 +97,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	clients := fs.Int("clients", 32, "concurrent -loadgen clients")
 	requests := fs.Int("requests", 256, "total -loadgen requests")
 	corpus := fs.String("corpus", "IS,BFS,HJ8", "comma-separated workload keys -loadgen replays")
+	rate := fs.Float64("rate", 0, "open-loop -loadgen: Poisson arrival rate in req/s (0 = closed loop)")
+	seed := fs.Int64("seed", 0, "open-loop arrival RNG seed (0 = 1)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -120,6 +123,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Requests: *requests,
 			Corpus:   strings.Split(*corpus, ","),
 			Quick:    *quick,
+			Rate:     *rate,
+			Seed:     *seed,
 		}, stdout)
 		if err != nil {
 			fmt.Fprintf(stderr, "aptbench: %v\n", err)

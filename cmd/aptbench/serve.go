@@ -51,6 +51,26 @@ type LoadgenTiming struct {
 	P99Ms     float64 `json:"p99_ms"`
 }
 
+// FleetTiming is the sharded serving stack under the same load: N
+// peered shards behind an aptrouter, closed-loop for throughput plus an
+// open-loop pass at the single-server's achieved rate for the
+// drop/reject measurement. Speedup is fleet vs single req/s on this
+// machine — in-process shards share one CPU, so it measures routing
+// overhead and cache sharding, not N machines' worth of compute.
+type FleetTiming struct {
+	Shards                 int     `json:"shards"`
+	Requests               int     `json:"requests"`
+	Clients                int     `json:"clients"`
+	ReqPerSec              float64 `json:"req_per_sec"`
+	SpeedupVsSingle        float64 `json:"speedup_vs_single"`
+	P50Ms                  float64 `json:"p50_ms"`
+	P99Ms                  float64 `json:"p99_ms"`
+	OpenLoopOfferedPerSec  float64 `json:"open_loop_offered_req_per_sec"`
+	OpenLoopAchievedPerSec float64 `json:"open_loop_achieved_req_per_sec"`
+	OpenLoopDropRejectRate float64 `json:"open_loop_drop_reject_rate"`
+	AggregateSavedAnalyses int64   `json:"aggregate_saved_analyses"`
+}
+
 // ServeBenchReport is the schema of BENCH_serve.json.
 type ServeBenchReport struct {
 	GeneratedAt string        `json:"generated_at"`
@@ -60,6 +80,7 @@ type ServeBenchReport struct {
 	CWT         []CWTTiming   `json:"cwt"`
 	Wire        WireTiming    `json:"wire"`
 	Loadgen     LoadgenTiming `json:"loadgen"`
+	Fleet       FleetTiming   `json:"fleet"`
 }
 
 // serveHistogram builds a multimodal latency-histogram lookalike: four
@@ -159,6 +180,56 @@ func timeWire(app string) (WireTiming, error) {
 	}, nil
 }
 
+// timeFleet measures the sharded serving stack: the single-server
+// loadgen replayed through a 3-shard fleet behind a router (closed loop
+// for throughput), then an open-loop pass at the single server's
+// achieved rate to measure the drop/reject behavior at that offered
+// load.
+func timeFleet(single LoadgenTiming, lgOpt loadgenOptions) (FleetTiming, error) {
+	const shards = 3
+	fleet, err := startFleet(shards, 8, 50*time.Millisecond)
+	if err != nil {
+		return FleetTiming{}, err
+	}
+	defer fleet.Stop()
+
+	lgOpt.Addr = fleet.RouterAddr
+	stats, err := runLoadgen(lgOpt, io.Discard)
+	if err != nil {
+		return FleetTiming{}, err
+	}
+	ft := FleetTiming{
+		Shards:          shards,
+		Requests:        lgOpt.Requests,
+		Clients:         lgOpt.Clients,
+		ReqPerSec:       float64(stats.OK) / stats.Elapsed.Seconds(),
+		P50Ms:           stats.Latency.P50,
+		P99Ms:           stats.Latency.P99,
+		SpeedupVsSingle: 0,
+	}
+	if single.ReqPerSec > 0 {
+		ft.SpeedupVsSingle = ft.ReqPerSec / single.ReqPerSec
+	}
+
+	// Open-loop pass against the now-warm fleet: offer the single
+	// server's achieved rate and record what the fleet drops or rejects.
+	open := lgOpt
+	open.Rate = single.ReqPerSec
+	if open.Rate <= 0 {
+		open.Rate = 100
+	}
+	open.Seed = 1
+	ostats, err := runLoadgen(open, io.Discard)
+	if err != nil {
+		return FleetTiming{}, err
+	}
+	ft.OpenLoopOfferedPerSec = open.Rate
+	ft.OpenLoopAchievedPerSec = float64(ostats.OK) / ostats.Elapsed.Seconds()
+	ft.OpenLoopDropRejectRate = ostats.DropRejectRate()
+	ft.AggregateSavedAnalyses = fleet.Counters()["aggregate_saved_analyses"]
+	return ft, nil
+}
+
 // runServeBench measures the serve-path hot paths and writes the report
 // to outPath.
 func runServeBench(quick bool, outPath string) error {
@@ -201,6 +272,16 @@ func runServeBench(quick bool, outPath string) error {
 	}
 	fmt.Printf("bench %-10s %8.1freq/s P50=%.2fms P99=%.2fms\n",
 		"serve", report.Loadgen.ReqPerSec, report.Loadgen.P50Ms, report.Loadgen.P99Ms)
+
+	ft, err := timeFleet(report.Loadgen, lgOpt)
+	if err != nil {
+		return fmt.Errorf("serve bench: fleet: %w", err)
+	}
+	report.Fleet = ft
+	fmt.Printf("bench %-10s %8.1freq/s (%.2fx single) P50=%.2fms P99=%.2fms; open loop %.1f offered -> %.1f achieved, %.2f%% dropped/rejected, %d analyses saved by aggregation\n",
+		"fleet", ft.ReqPerSec, ft.SpeedupVsSingle, ft.P50Ms, ft.P99Ms,
+		ft.OpenLoopOfferedPerSec, ft.OpenLoopAchievedPerSec,
+		100*ft.OpenLoopDropRejectRate, ft.AggregateSavedAnalyses)
 
 	data, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {

@@ -9,6 +9,13 @@
 //	aptgetd -addr :8080 -inflight 128
 //	aptgetd -report report.json      # write obs span report on shutdown
 //
+// As a fleet shard it additionally pulls warm handoffs from (and
+// optionally replicates to) its siblings, and can aggregate fleet
+// profile bursts into single analyses:
+//
+//	aptgetd -addr :7701 -peers 127.0.0.1:7702,127.0.0.1:7703 \
+//	        -replicate -aggregate-window 8 -aggregate-wait 50ms
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting.
 package main
@@ -21,8 +28,10 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
+	"aptget/internal/aggregate"
 	"aptget/internal/obs"
 	"aptget/internal/planstore"
 	"aptget/internal/service"
@@ -46,7 +55,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	inflight := fs.Int("inflight", service.DefaultMaxInflight, "max concurrently served requests before 429")
 	timeout := fs.Duration("timeout", service.DefaultRequestTimeout, "per-request deadline")
 	report := fs.String("report", "", "write per-stage observability records to this JSON file on shutdown")
+	peers := fs.String("peers", "", "comma-separated sibling shard addresses for warm handoff (host:port,...)")
+	replicate := fs.Bool("replicate", false, "push every cached plan set to all -peers (best-effort)")
+	aggWindow := fs.Int("aggregate-window", 0, "merge up to N same-shape profiles into one analysis (0 disables)")
+	aggWait := fs.Duration("aggregate-wait", 0, "max time the first profile of a window waits for the burst (0 selects the default)")
+	peerTimeout := fs.Duration("peer-timeout", planstore.DefaultRemoteTimeout, "per-peer handoff/replication deadline")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if *replicate && len(peerList) == 0 {
+		fmt.Fprintln(stderr, "aptgetd: -replicate requires -peers")
 		return 2
 	}
 
@@ -60,9 +84,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	srv := service.New(service.Config{
-		CacheCapacity:  *cache,
-		MaxInflight:    *inflight,
-		RequestTimeout: *timeout,
+		CacheCapacity:   *cache,
+		MaxInflight:     *inflight,
+		RequestTimeout:  *timeout,
+		Peers:           peerList,
+		Replicate:       *replicate,
+		AggregateWindow: *aggWindow,
+		AggregateWait:   *aggWait,
+		PeerTimeout:     *peerTimeout,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -71,6 +100,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "aptgetd: listening on %s (cache %d entries, %d in-flight, %s timeout)\n",
 		ln.Addr(), *cache, *inflight, *timeout)
+	if len(peerList) > 0 {
+		mode := "handoff"
+		if *replicate {
+			mode = "handoff+replicate"
+		}
+		fmt.Fprintf(stdout, "aptgetd: fleet peers %s (%s)\n", strings.Join(peerList, ","), mode)
+	}
+	if *aggWindow >= 2 {
+		wait := *aggWait
+		if wait <= 0 {
+			wait = aggregate.DefaultWait
+		}
+		fmt.Fprintf(stdout, "aptgetd: aggregating up to %d same-shape profiles per %s window\n",
+			*aggWindow, wait)
+	}
 
 	if err := srv.Serve(ctx, ln); err != nil {
 		fmt.Fprintf(stderr, "aptgetd: %v\n", err)

@@ -1,0 +1,117 @@
+// Package aggregate implements fleet-wide profile aggregation: merging
+// the PEBS/LBR profiles that many clients of one binary report into a
+// single weighted profile, so a burst of re-profiles triggers one
+// analysis of the merged evidence instead of K analyses of K noisy
+// samples — the continuous fleet-wide collection model of hardware
+// counted profile-guided optimization applied to prefetch planning.
+//
+// The merge is sample-count weighted by construction: delinquent-load
+// sample counts add, and the LBR snapshot sets concatenate, so the
+// per-load latency histograms the analysis stage builds from the merged
+// profile are exactly the weighted merge of the per-client histograms —
+// a client that observed twice as many loop iterations contributes
+// twice the histogram mass.
+//
+// Merge is deterministic and order-independent: identical profiles
+// (same fingerprint — the same observation re-reported, not new
+// evidence) are deduplicated, integer counters add commutatively, and
+// the merged slices are canonicalized, so merge(A,B,C) encodes to the
+// same bytes under any permutation of arrival.
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+
+	"aptget/internal/lbr"
+	"aptget/internal/wire"
+)
+
+// Merge combines same-shape profiles into one weighted profile. All
+// inputs must share an app and a shape hash (clients of one binary);
+// inputs are not mutated. A single (distinct) input merges to a
+// canonical copy of itself, so plans computed from the merge of one
+// profile are byte-identical to an unaggregated analysis.
+func Merge(profiles []*wire.Profile) (*wire.Profile, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("aggregate: no profiles to merge")
+	}
+	first := profiles[0]
+	shape := first.ShapeHash()
+
+	// Deduplicate by fingerprint: a fleet member re-sending the same
+	// bytes is the same observation, and counting it twice would skew
+	// the weighting toward chatty clients.
+	distinct := make([]*wire.Profile, 0, len(profiles))
+	seen := make(map[wire.Fingerprint]bool, len(profiles))
+	for _, p := range profiles {
+		if p.App != first.App {
+			return nil, fmt.Errorf("aggregate: mixed apps %q and %q", first.App, p.App)
+		}
+		if p.ShapeHash() != shape {
+			return nil, fmt.Errorf("aggregate: mixed loop shapes for %s", p.App)
+		}
+		fp := wire.FingerprintOf(p)
+		if !seen[fp] {
+			seen[fp] = true
+			distinct = append(distinct, p)
+		}
+	}
+	// One distinct observation: keep it verbatim (canonicalized) rather
+	// than re-deriving shares, so a burst of identical re-profiles yields
+	// plans byte-identical to an unaggregated analysis.
+	if len(distinct) == 1 {
+		p := distinct[0]
+		copied := &wire.Profile{
+			App:          p.App,
+			Cycles:       p.Cycles,
+			Instructions: p.Instructions,
+			Loads:        append([]wire.Load(nil), p.Loads...),
+			Samples:      append([]lbr.Sample(nil), p.Samples...),
+			Loops:        append([]wire.LoopShape(nil), p.Loops...),
+		}
+		copied.Canonicalize()
+		return copied, nil
+	}
+	// Fingerprint order makes the iteration below independent of
+	// arrival order even before canonicalization.
+	sort.Slice(distinct, func(i, j int) bool {
+		return wire.FingerprintOf(distinct[i]) < wire.FingerprintOf(distinct[j])
+	})
+
+	merged := &wire.Profile{
+		App:   first.App,
+		Loops: append([]wire.LoopShape(nil), first.Loops...),
+	}
+	loadsByPC := make(map[uint64]*wire.Load)
+	var pcs []uint64
+	var totalSamples uint64
+	for _, p := range distinct {
+		merged.Cycles += p.Cycles
+		merged.Instructions += p.Instructions
+		for _, l := range p.Loads {
+			m, ok := loadsByPC[l.PC]
+			if !ok {
+				m = &wire.Load{PC: l.PC}
+				loadsByPC[l.PC] = m
+				pcs = append(pcs, l.PC)
+			}
+			m.Samples += l.Samples
+			totalSamples += l.Samples
+		}
+		merged.Samples = append(merged.Samples, p.Samples...)
+	}
+	// Shares are recomputed over the merged population (the fraction of
+	// all merged delinquent-load samples, an integer ratio — exact and
+	// commutative). Per-client shares were fractions of per-client
+	// sample totals and cannot be averaged meaningfully.
+	for _, pc := range pcs {
+		m := loadsByPC[pc]
+		if totalSamples > 0 {
+			m.Share = float64(m.Samples) / float64(totalSamples)
+		}
+		merged.Loads = append(merged.Loads, *m)
+	}
+	merged.Canonicalize()
+	return merged, nil
+}

@@ -1,0 +1,329 @@
+package aggregate
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aptget/internal/lbr"
+	"aptget/internal/wire"
+)
+
+// testProfile builds a small canonical profile whose content varies
+// with seed but whose loop shape (and app) stays fixed, mimicking a
+// fleet of clients of one binary reporting slightly different evidence.
+func testProfile(seed uint64) *wire.Profile {
+	p := &wire.Profile{
+		App:          "IS",
+		Cycles:       1000 + seed*37,
+		Instructions: 4000 + seed*11,
+		Loads: []wire.Load{
+			{PC: 0x40, Samples: 60 + seed, Share: 0.6},
+			{PC: 0x80, Samples: 40, Share: 0.4},
+		},
+		Samples: []lbr.Sample{
+			{Cycle: 100 + seed, Entries: []lbr.Entry{{From: 0x10, To: 0x20, Cycle: 90 + seed}}},
+			{Cycle: 200 + seed, Entries: []lbr.Entry{{From: 0x10, To: 0x20, Cycle: 190 + seed}}},
+		},
+		Loops: []wire.LoopShape{
+			{Depth: 1, Parent: -1, Latches: 1, Blocks: 4, HasInduction: true},
+			{Depth: 2, Parent: 0, Latches: 1, Blocks: 2, HasInduction: true},
+		},
+	}
+	p.Canonicalize()
+	return p
+}
+
+func TestMergeSumsAndReweights(t *testing.T) {
+	a, b := testProfile(1), testProfile(2)
+	m, err := Merge([]*wire.Profile{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles != a.Cycles+b.Cycles || m.Instructions != a.Instructions+b.Instructions {
+		t.Fatalf("counters not summed: %d/%d", m.Cycles, m.Instructions)
+	}
+	if len(m.Loads) != 2 {
+		t.Fatalf("loads not merged by PC: %+v", m.Loads)
+	}
+	var byPC = map[uint64]wire.Load{}
+	var total uint64
+	for _, l := range m.Loads {
+		byPC[l.PC] = l
+		total += l.Samples
+	}
+	if byPC[0x40].Samples != 61+62 || byPC[0x80].Samples != 80 {
+		t.Fatalf("sample counts not summed: %+v", m.Loads)
+	}
+	for _, l := range m.Loads {
+		want := float64(l.Samples) / float64(total)
+		if l.Share != want {
+			t.Fatalf("share of %#x = %v, want recomputed %v", l.PC, l.Share, want)
+		}
+	}
+	if len(m.Samples) != len(a.Samples)+len(b.Samples) {
+		t.Fatalf("LBR snapshots not concatenated: %d", len(m.Samples))
+	}
+	if len(m.Loops) != len(a.Loops) {
+		t.Fatalf("loop shapes corrupted: %+v", m.Loops)
+	}
+	if m.ShapeHash() != a.ShapeHash() {
+		t.Fatal("merged profile changed shape hash")
+	}
+}
+
+// TestMergeDedupsIdenticalProfiles: the same observation re-reported
+// must not double its weight — and the merge of K identical profiles is
+// the profile itself, so aggregated plans for an identical-burst are
+// byte-identical to unaggregated serving.
+func TestMergeDedupsIdenticalProfiles(t *testing.T) {
+	p := testProfile(7)
+	m, err := Merge([]*wire.Profile{p, testProfile(7), testProfile(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire.EncodeProfile(m), wire.EncodeProfile(p)) {
+		t.Fatal("merge of identical profiles must encode identically to the profile")
+	}
+}
+
+// TestMergeOrderIndependent is the satellite property test: the merged
+// profile's canonical bytes are identical under any permutation of
+// arrival order, including duplicated members.
+func TestMergeOrderIndependent(t *testing.T) {
+	base := []*wire.Profile{testProfile(1), testProfile(2), testProfile(3), testProfile(1)}
+	ref, err := Merge(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBytes := wire.EncodeProfile(ref)
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		perm := append([]*wire.Profile(nil), base...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		m, err := Merge(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wire.EncodeProfile(m), refBytes) {
+			t.Fatalf("trial %d: merge is arrival-order dependent", trial)
+		}
+	}
+	if wire.FingerprintOf(ref) == wire.FingerprintOf(base[0]) {
+		t.Fatal("merged profile of distinct inputs should have a new fingerprint")
+	}
+}
+
+func TestMergeRejectsMixedShapes(t *testing.T) {
+	a := testProfile(1)
+	b := testProfile(2)
+	b.Loops = b.Loops[:1] // different loop nest
+	if _, err := Merge([]*wire.Profile{a, b}); err == nil {
+		t.Fatal("mixed shapes must error")
+	}
+	c := testProfile(3)
+	c.App = "BFS"
+	if _, err := Merge([]*wire.Profile{a, c}); err == nil {
+		t.Fatal("mixed apps must error")
+	}
+	if _, err := Merge(nil); err == nil {
+		t.Fatal("empty merge must error")
+	}
+}
+
+// TestBatcherWindowCollapsesAnalyses: K concurrent same-shape submits
+// fire one analysis of the merged profile, and every waiter gets the
+// same bytes and batch size.
+func TestBatcherWindowCollapsesAnalyses(t *testing.T) {
+	const k = 8
+	b := NewBatcher(k, time.Minute) // wait far beyond the test: only the window fires
+	var analyses atomic.Int64
+	shape := testProfile(0).ShapeHash()
+
+	var wg sync.WaitGroup
+	plansOut := make([][]byte, k)
+	sizes := make([]int, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			plans, _, size, err := b.Do(context.Background(), shape, testProfile(uint64(i)),
+				func(m *wire.Profile) ([]byte, error) {
+					analyses.Add(1)
+					return wire.EncodeProfile(m), nil // analysis stand-in: echo the merged profile
+				})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plansOut[i], sizes[i] = plans, size
+		}(i)
+	}
+	wg.Wait()
+
+	if got := analyses.Load(); got != 1 {
+		t.Fatalf("analyze ran %d times for a full window, want 1", got)
+	}
+	for i := 1; i < k; i++ {
+		if !bytes.Equal(plansOut[i], plansOut[0]) || sizes[i] != k {
+			t.Fatalf("waiter %d got different result (size %d)", i, sizes[i])
+		}
+	}
+	c := b.Counters()
+	if c["aggregate_profiles"] != k || c["aggregate_batches"] != 1 || c["aggregate_saved_analyses"] != k-1 {
+		t.Fatalf("counters = %v", c)
+	}
+}
+
+// TestBatcherWaitFiresPartialWindow: a lone profile is not held beyond
+// the wait bound.
+func TestBatcherWaitFiresPartialWindow(t *testing.T) {
+	b := NewBatcher(100, 10*time.Millisecond)
+	start := time.Now()
+	plans, src, size, err := b.Do(context.Background(), "sA", testProfile(5),
+		func(m *wire.Profile) ([]byte, error) { return []byte("ok"), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 1 || string(plans) != "ok" {
+		t.Fatalf("partial fire = size %d plans %q", size, plans)
+	}
+	if src != wire.FingerprintOf(testProfile(5)) {
+		t.Fatal("single-profile batch must keep the profile's own fingerprint")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("lone profile waited %v", elapsed)
+	}
+	if got := b.Counters()["aggregate_wait_fires"]; got != 1 {
+		t.Fatalf("wait fires = %d, want 1", got)
+	}
+}
+
+// TestBatcherSeparateShapesSeparateWindows: different shapes never
+// share a batch.
+func TestBatcherSeparateShapesSeparateWindows(t *testing.T) {
+	b := NewBatcher(2, time.Minute)
+	var analyses atomic.Int64
+	analyze := func(m *wire.Profile) ([]byte, error) {
+		analyses.Add(1)
+		return []byte(m.App), nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := testProfile(uint64(i))
+			if _, _, size, err := b.Do(context.Background(), "shape-A", p, analyze); err != nil || size != 2 {
+				t.Errorf("shape-A: size %d err %v", size, err)
+			}
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := testProfile(uint64(10 + i))
+			p.App = "BFS"
+			if _, _, size, err := b.Do(context.Background(), "shape-B", p, analyze); err != nil || size != 2 {
+				t.Errorf("shape-B: size %d err %v", size, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := analyses.Load(); got != 2 {
+		t.Fatalf("analyses = %d, want 2 (one per shape)", got)
+	}
+}
+
+func TestBatcherAnalysisErrorReachesAllWaiters(t *testing.T) {
+	b := NewBatcher(2, time.Minute)
+	boom := errors.New("analysis exploded")
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, _, err := b.Do(context.Background(), "sA", testProfile(uint64(i)),
+				func(*wire.Profile) ([]byte, error) { return nil, boom })
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter %d err = %v, want %v", i, err, boom)
+		}
+	}
+}
+
+func TestBatcherContextCancellation(t *testing.T) {
+	b := NewBatcher(2, time.Minute)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := b.Do(ctx, "sA", testProfile(1),
+			func(*wire.Profile) ([]byte, error) { return []byte("ok"), nil })
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	// The abandoned batch still completes for a later joiner via the
+	// window path.
+	if _, _, size, err := b.Do(context.Background(), "sA", testProfile(2),
+		func(m *wire.Profile) ([]byte, error) { return []byte("ok"), nil }); err != nil || size != 2 {
+		t.Fatalf("window completion after cancellation: size %d err %v", size, err)
+	}
+}
+
+func TestMergeManyClientsWeighting(t *testing.T) {
+	// 10 clients, one of which saw 10x the samples on a second load:
+	// the merged share must reflect the pooled evidence.
+	var profs []*wire.Profile
+	for i := 0; i < 10; i++ {
+		p := testProfile(uint64(i))
+		if i == 0 {
+			p.Loads = append(p.Loads, wire.Load{PC: 0xc0, Samples: 1000, Share: 0.9})
+			p.Canonicalize()
+		}
+		profs = append(profs, p)
+	}
+	m, err := Merge(profs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, heavy uint64
+	for _, l := range m.Loads {
+		total += l.Samples
+		if l.PC == 0xc0 {
+			heavy = l.Samples
+		}
+	}
+	if heavy != 1000 {
+		t.Fatalf("heavy load lost samples: %d", heavy)
+	}
+	for _, l := range m.Loads {
+		if l.PC == 0xc0 && l.Share != float64(heavy)/float64(total) {
+			t.Fatalf("heavy share = %v", l.Share)
+		}
+	}
+	if fmt.Sprintf("%x", wire.FingerprintOf(m)) == "" {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,153 @@
+package aggregate
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aptget/internal/wire"
+)
+
+// DefaultWait bounds how long the first profile of a window waits for
+// the rest of the fleet's burst before the batch analyzes what it has.
+const DefaultWait = 50 * time.Millisecond
+
+// Batcher is the ingest-side aggregation window: profiles that share a
+// loop-shape hash and arrive within a window are merged and analyzed
+// once. A batch fires when it reaches Window profiles or when Wait has
+// passed since its first profile, whichever comes first, so a lone
+// client is delayed by at most Wait and a fleet burst of K re-profiles
+// costs one analysis instead of K.
+type Batcher struct {
+	window int
+	wait   time.Duration
+
+	mu      sync.Mutex
+	pending map[wire.ShapeHash]*batch
+
+	profiles, batches, saved, waitFires atomic.Int64
+}
+
+// batch accumulates one shape's window.
+type batch struct {
+	shape   wire.ShapeHash
+	profs   []*wire.Profile
+	analyze func(*wire.Profile) ([]byte, error)
+	timer   *time.Timer
+	fired   bool
+
+	done  chan struct{}
+	plans []byte
+	src   wire.Fingerprint // fingerprint of the merged profile
+	size  int              // participants in the fired batch
+	err   error
+}
+
+// NewBatcher returns a batcher with the given window size (<2 still
+// works: every profile fires its own batch immediately) and wait bound
+// (≤0 selects DefaultWait).
+func NewBatcher(window int, wait time.Duration) *Batcher {
+	if wait <= 0 {
+		wait = DefaultWait
+	}
+	return &Batcher{
+		window:  window,
+		wait:    wait,
+		pending: make(map[wire.ShapeHash]*batch),
+	}
+}
+
+// Counters exports the batcher's counters under the names /v1/metrics
+// serves. aggregate_saved_analyses is the headline: ingests that were
+// answered from another profile's batch instead of their own analysis.
+func (b *Batcher) Counters() map[string]int64 {
+	return map[string]int64{
+		"aggregate_profiles":       b.profiles.Load(),
+		"aggregate_batches":        b.batches.Load(),
+		"aggregate_saved_analyses": b.saved.Load(),
+		"aggregate_wait_fires":     b.waitFires.Load(),
+	}
+}
+
+// Do submits p to its shape's window and blocks until the batch it
+// joined has been merged and analyzed (or ctx is cancelled — the batch
+// still completes for the other waiters). Returns the batch's plan
+// bytes, the merged profile's fingerprint, and the participant count.
+// analyze runs once per batch, on the merged profile, in the goroutine
+// that fired the batch.
+func (b *Batcher) Do(ctx context.Context, shape wire.ShapeHash, p *wire.Profile,
+	analyze func(*wire.Profile) ([]byte, error)) ([]byte, wire.Fingerprint, int, error) {
+
+	b.profiles.Add(1)
+	b.mu.Lock()
+	bt, ok := b.pending[shape]
+	if !ok {
+		bt = &batch{
+			shape:   shape,
+			analyze: analyze,
+			done:    make(chan struct{}),
+		}
+		b.pending[shape] = bt
+		bt.timer = time.AfterFunc(b.wait, func() { b.fireByTimer(bt) })
+	}
+	bt.profs = append(bt.profs, p)
+	fireNow := len(bt.profs) >= b.window
+	if fireNow {
+		b.takeLocked(bt)
+	}
+	b.mu.Unlock()
+
+	if fireNow {
+		bt.timer.Stop()
+		b.fire(bt)
+	}
+
+	select {
+	case <-bt.done:
+	case <-ctx.Done():
+		return nil, "", 0, ctx.Err()
+	}
+	if bt.err != nil {
+		return nil, "", 0, bt.err
+	}
+	return bt.plans, bt.src, bt.size, nil
+}
+
+// takeLocked marks bt fired and unhooks it from pending so the next
+// same-shape profile opens a fresh window. Caller holds b.mu.
+func (b *Batcher) takeLocked(bt *batch) {
+	bt.fired = true
+	if b.pending[bt.shape] == bt {
+		delete(b.pending, bt.shape)
+	}
+}
+
+// fireByTimer closes the window on the wait bound with however many
+// profiles arrived.
+func (b *Batcher) fireByTimer(bt *batch) {
+	b.mu.Lock()
+	if bt.fired {
+		b.mu.Unlock()
+		return
+	}
+	b.takeLocked(bt)
+	b.mu.Unlock()
+	b.waitFires.Add(1)
+	b.fire(bt)
+}
+
+// fire merges the batch and runs the one analysis, then releases every
+// waiter. bt is owned by the caller (already unhooked from pending).
+func (b *Batcher) fire(bt *batch) {
+	b.batches.Add(1)
+	bt.size = len(bt.profs)
+	b.saved.Add(int64(bt.size - 1))
+	merged, err := Merge(bt.profs)
+	if err == nil {
+		bt.src = wire.FingerprintOf(merged)
+		bt.plans, err = bt.analyze(merged)
+	}
+	bt.err = err
+	close(bt.done)
+}

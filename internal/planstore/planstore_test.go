@@ -43,8 +43,8 @@ func TestExactHitAfterMiss(t *testing.T) {
 		t.Fatalf("second request = %+v, want exact hit", res)
 	}
 	got, ok := s.Get(k.Profile)
-	if !ok || !bytes.Equal(got, plans(1)) {
-		t.Fatalf("Get by fingerprint = %q/%v", got, ok)
+	if !ok || !bytes.Equal(got.Plans, plans(1)) {
+		t.Fatalf("Get by fingerprint = %q/%v", got.Plans, ok)
 	}
 	c := s.Counters()
 	if c["plan_cache_hits"] != 1 || c["plan_cache_misses"] != 1 {
@@ -77,8 +77,8 @@ func TestStaleMatchServesPriorPlansWithoutRecompute(t *testing.T) {
 		t.Fatalf("stale match served %q, want the prior plans", got)
 	}
 	// The alias makes the drifted fingerprint exactly addressable.
-	if aliased, ok := s.Get(drifted.Profile); !ok || !bytes.Equal(aliased, plans(1)) {
-		t.Fatalf("drifted fingerprint not aliased: %q/%v", aliased, ok)
+	if aliased, ok := s.Get(drifted.Profile); !ok || !bytes.Equal(aliased.Plans, plans(1)) {
+		t.Fatalf("drifted fingerprint not aliased: %q/%v", aliased.Plans, ok)
 	}
 	// A different shape must compute.
 	other := key(3, "shape-B")
@@ -193,5 +193,260 @@ func TestComputeErrorIsNotCached(t *testing.T) {
 	// Next request retries.
 	if res := mustCompute(t, s, k, 1); res.Outcome != OutcomeMiss {
 		t.Fatalf("retry outcome = %v, want miss", res.Outcome)
+	}
+}
+
+// checkConsistent verifies the Local backend's structural invariants:
+// every index entry points at a live list element, the exact-key and
+// fingerprint indexes are exactly one per element, and Len agrees with
+// all of them.
+func checkConsistent(t *testing.T, b *Local) {
+	t.Helper()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	live := make(map[*entry]bool, b.ll.Len())
+	for el := b.ll.Front(); el != nil; el = el.Next() {
+		live[el.Value.(*entry)] = true
+	}
+	if len(live) != b.ll.Len() {
+		t.Fatalf("list holds %d elements but %d distinct entries", b.ll.Len(), len(live))
+	}
+	if len(b.byKey) != b.ll.Len() || len(b.byFP) != b.ll.Len() {
+		t.Fatalf("Len=%d but byKey=%d byFP=%d (indexes leaked or lost entries)",
+			b.ll.Len(), len(b.byKey), len(b.byFP))
+	}
+	if len(b.byShape) > b.ll.Len() {
+		t.Fatalf("byShape=%d exceeds Len=%d", len(b.byShape), b.ll.Len())
+	}
+	for k, el := range b.byKey {
+		e := el.Value.(*entry)
+		if !live[e] {
+			t.Fatalf("byKey[%v] references an evicted element", k)
+		}
+		if e.key != k {
+			t.Fatalf("byKey[%v] points at entry keyed %v", k, e.key)
+		}
+	}
+	for fp, el := range b.byFP {
+		e := el.Value.(*entry)
+		if !live[e] {
+			t.Fatalf("byFP[%s] references an evicted element", fp)
+		}
+		if e.key.Profile != fp {
+			t.Fatalf("byFP[%s] points at entry keyed %v", fp, e.key)
+		}
+	}
+	for sh, el := range b.byShape {
+		e := el.Value.(*entry)
+		if !live[e] {
+			t.Fatalf("byShape[%s] references an evicted element", sh)
+		}
+		if e.key.Shape != sh {
+			t.Fatalf("byShape[%s] points at entry keyed %v", sh, e.key)
+		}
+	}
+}
+
+// TestPutRefreshesExistingEntry is the regression test for the
+// identical-insert race: a Put whose key (or fingerprint) is already
+// cached must refresh the surviving element's bytes and repoint the
+// fingerprint and shape indexes at it. The pre-fix insert returned
+// early after an LRU touch, so the refreshed bytes were dropped and the
+// shape index kept serving the older alias.
+func TestPutRefreshesExistingEntry(t *testing.T) {
+	b := NewLocal(4)
+	kA := key(1, "sA")
+	kB := key(2, "sA") // same shape, different fingerprint (a stale alias)
+
+	b.Put(kA, Entry{Plans: plans(1), Source: kA.Profile})
+	b.Put(kB, Entry{Plans: plans(2), Source: kA.Profile})
+
+	// Re-insert kA with fresh bytes — the losing side of a racing
+	// identical insert, or a replication push of a recomputed analysis.
+	b.Put(kA, Entry{Plans: plans(3), Source: kA.Profile})
+
+	got, ok := b.Lookup(kA.Profile)
+	if !ok || !bytes.Equal(got.Plans, plans(3)) {
+		t.Fatalf("Lookup(fpA) = %q/%v, want refreshed plans-003 (pre-fix bug: stale bytes)", got.Plans, ok)
+	}
+	if got, ok := b.LookupKey(kA); !ok || !bytes.Equal(got.Plans, plans(3)) {
+		t.Fatalf("LookupKey(kA) = %q/%v, want refreshed plans-003", got.Plans, ok)
+	}
+	// The refresh made kA the freshest entry of its shape, so the shape
+	// index must serve its bytes, not the older alias's.
+	if got, ok := b.LookupShape("sA"); !ok || !bytes.Equal(got.Plans, plans(3)) {
+		t.Fatalf("LookupShape(sA) = %q/%v, want repointed plans-003 (pre-fix bug: alias bytes)", got.Plans, ok)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (refresh must not duplicate)", b.Len())
+	}
+	checkConsistent(t, b)
+}
+
+// TestPutUpgradesFingerprintOnlyAlias: a warm handoff caches plans under
+// a fingerprint-only key; the later full ingest of the same profile must
+// upgrade that entry with its shape instead of inserting a second entry
+// for the fingerprint.
+func TestPutUpgradesFingerprintOnlyAlias(t *testing.T) {
+	b := NewLocal(4)
+	fp := wire.Fingerprint("fp-001")
+	b.Put(Key{Profile: fp}, Entry{Plans: plans(1), Source: fp})
+	if _, ok := b.LookupShape("sA"); ok {
+		t.Fatal("fingerprint-only entry must not be shape-addressable")
+	}
+
+	full := Key{Profile: fp, Shape: "sA"}
+	b.Put(full, Entry{Plans: plans(1), Source: fp})
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (upgrade, not duplicate)", b.Len())
+	}
+	if got, ok := b.LookupShape("sA"); !ok || !bytes.Equal(got.Plans, plans(1)) {
+		t.Fatalf("LookupShape after upgrade = %q/%v", got.Plans, ok)
+	}
+	if got, ok := b.LookupKey(full); !ok || !bytes.Equal(got.Plans, plans(1)) {
+		t.Fatalf("LookupKey after upgrade = %q/%v", got.Plans, ok)
+	}
+	// A handoff refresh arriving after the upgrade must not strip the
+	// learned shape.
+	b.Put(Key{Profile: fp}, Entry{Plans: plans(2), Source: fp})
+	if got, ok := b.LookupShape("sA"); !ok || !bytes.Equal(got.Plans, plans(2)) {
+		t.Fatalf("shape lost after fingerprint-only refresh: %q/%v", got.Plans, ok)
+	}
+	checkConsistent(t, b)
+}
+
+// TestEvictionChurnKeepsMapsConsistent drives a small cache through
+// heavy churn with stale-match aliasing (many fingerprints per shape)
+// and checks after every operation that no index leaks, no index
+// references an evicted element, and Len agrees with the map sizes.
+func TestEvictionChurnKeepsMapsConsistent(t *testing.T) {
+	s := New(8)
+	b := s.Backend().(*Local)
+	shapes := []string{"sA", "sB", "sC"}
+	for i := 0; i < 200; i++ {
+		k := key(i, shapes[i%len(shapes)])
+		mustCompute(t, s, k, i)
+		if i%7 == 0 { // sprinkle direct Puts (replication path) into the churn
+			b.Put(key(i/2, shapes[(i/2)%len(shapes)]), Entry{Plans: plans(i), Source: k.Profile})
+		}
+		if i%13 == 0 {
+			s.Get(key(i/3, "").Profile) // fingerprint lookups touch LRU order
+		}
+		checkConsistent(t, b)
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want capacity 8 after churn", s.Len())
+	}
+	// Every surviving fingerprint must serve exactly its own bytes.
+	b.mu.Lock()
+	entries := make(map[wire.Fingerprint][]byte)
+	for el := b.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		entries[e.key.Profile] = e.plans
+	}
+	b.mu.Unlock()
+	for fp, want := range entries {
+		got, ok := s.Get(fp)
+		if !ok || !bytes.Equal(got.Plans, want) {
+			t.Fatalf("Get(%s) = %q/%v, want %q", fp, got.Plans, ok, want)
+		}
+	}
+}
+
+// fakePeer is an in-memory Peer for handoff and replication tests.
+type fakePeer struct {
+	mu      sync.Mutex
+	entries map[wire.Fingerprint]Entry
+	gets    atomic.Int64
+	puts    atomic.Int64
+}
+
+func newFakePeer() *fakePeer {
+	return &fakePeer{entries: make(map[wire.Fingerprint]Entry)}
+}
+
+func (p *fakePeer) Lookup(fp wire.Fingerprint) (Entry, bool) {
+	p.gets.Add(1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[fp]
+	return e, ok
+}
+
+func (p *fakePeer) Put(k Key, e Entry) {
+	p.puts.Add(1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries[k.Profile] = e
+}
+
+func TestWarmHandoffServesSiblingPlans(t *testing.T) {
+	peer := newFakePeer()
+	k := key(1, "sA")
+	peer.entries[k.Profile] = Entry{Plans: plans(1), Source: k.Profile}
+	s := NewWithBackend(NewReplicated(NewLocal(4), []Peer{newFakePeer(), peer}, false))
+
+	computed := false
+	got, res, err := s.GetOrCompute(k, func() ([]byte, error) {
+		computed = true
+		return plans(99), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed {
+		t.Fatal("handoff must not run the analysis")
+	}
+	if res.Outcome != OutcomeHandoff || !bytes.Equal(got, plans(1)) {
+		t.Fatalf("result = %+v %q, want handoff of sibling plans", res, got)
+	}
+	// The handed-off plans are now local: a repeat is an exact hit with
+	// no further sibling traffic.
+	before := peer.gets.Load()
+	if res := mustCompute(t, s, k, 99); res.Outcome != OutcomeHit {
+		t.Fatalf("repeat outcome = %v, want hit", res.Outcome)
+	}
+	if peer.gets.Load() != before {
+		t.Fatal("repeat request went back to the sibling")
+	}
+	c := s.Counters()
+	if c["plan_cache_handoffs"] != 1 || c["plan_cache_misses"] != 0 {
+		t.Fatalf("counters = %v", c)
+	}
+
+	// A fingerprint nobody holds falls through to compute.
+	k2 := key(2, "sB")
+	if res := mustCompute(t, s, k2, 2); res.Outcome != OutcomeMiss {
+		t.Fatalf("unheld fingerprint outcome = %v, want miss", res.Outcome)
+	}
+}
+
+func TestHandoffOnGetByFingerprint(t *testing.T) {
+	peer := newFakePeer()
+	fp := wire.Fingerprint("fp-001")
+	peer.entries[fp] = Entry{Plans: plans(1), Source: fp}
+	s := NewWithBackend(NewReplicated(NewLocal(4), []Peer{peer}, false))
+
+	got, ok := s.Get(fp)
+	if !ok || !bytes.Equal(got.Plans, plans(1)) {
+		t.Fatalf("Get via handoff = %q/%v", got.Plans, ok)
+	}
+	// Cached locally now; GetLocal (the sibling-serving path) sees it
+	// without recursing.
+	if _, ok := s.GetLocal(fp); !ok {
+		t.Fatal("handed-off entry not cached locally")
+	}
+}
+
+func TestReplicationPushMirrorsPuts(t *testing.T) {
+	peer := newFakePeer()
+	s := NewWithBackend(NewReplicated(NewLocal(4), []Peer{peer}, true))
+	k := key(1, "sA")
+	mustCompute(t, s, k, 1)
+	if e, ok := peer.entries[k.Profile]; !ok || !bytes.Equal(e.Plans, plans(1)) {
+		t.Fatalf("peer did not receive the replica: %+v/%v", e, ok)
+	}
+	if got := s.Counters()["plan_cache_replication_pushes"]; got != 1 {
+		t.Fatalf("replication pushes = %d, want 1", got)
 	}
 }

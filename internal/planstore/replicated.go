@@ -1,0 +1,89 @@
+package planstore
+
+import (
+	"sync/atomic"
+
+	"aptget/internal/wire"
+)
+
+// Peer is a sibling shard the replicated store can pull warm handoffs
+// from and push replicas to. *Remote implements it; tests fake it.
+type Peer interface {
+	Lookup(fp wire.Fingerprint) (Entry, bool)
+	Put(key Key, e Entry)
+}
+
+// Replicated is a Local (or any Backend) joined to its sibling shards:
+//
+//   - Warm handoff (pull): a miss asks each sibling for the plans by
+//     fingerprint before the caller falls back to computing, so a ring
+//     resize or shard restart re-serves cached analyses instead of
+//     re-running them.
+//   - Replication (push, optional): every Put is forwarded best-effort
+//     to the siblings, so any single shard can die without losing the
+//     fleet's plans.
+//
+// The embedded Backend serves all local operations; only Handoff, Put,
+// and Counters are layered.
+type Replicated struct {
+	Backend
+	peers []Peer
+	push  bool
+
+	handoffHits, handoffMisses, pushes atomic.Int64
+}
+
+// NewReplicated joins local to its peers. push enables synchronous
+// best-effort replication of every Put to every peer.
+func NewReplicated(local Backend, peers []Peer, push bool) *Replicated {
+	return &Replicated{Backend: local, peers: peers, push: push}
+}
+
+// Handoff sweeps the siblings for plans by fingerprint, first hit wins.
+func (r *Replicated) Handoff(fp wire.Fingerprint) (Entry, bool) {
+	for _, p := range r.peers {
+		if e, ok := p.Lookup(fp); ok {
+			r.handoffHits.Add(1)
+			return e, true
+		}
+	}
+	r.handoffMisses.Add(1)
+	return Entry{}, false
+}
+
+// Put stores locally, then (when push replication is on) forwards to
+// every sibling. Peer failures are the peer's to count.
+func (r *Replicated) Put(key Key, e Entry) {
+	r.Backend.Put(key, e)
+	if !r.push {
+		return
+	}
+	for _, p := range r.peers {
+		r.pushes.Add(1)
+		p.Put(key, e)
+	}
+}
+
+// PutLocal stores into the local layer only, never pushing to peers —
+// the path for plans that already came *from* a peer (replication
+// receipts, warm handoffs), so pushes cannot echo around the fleet.
+func (r *Replicated) PutLocal(key Key, e Entry) { r.Backend.Put(key, e) }
+
+// Counters merges the local backend's counters with the handoff and
+// replication traffic, plus any countable peers.
+func (r *Replicated) Counters() map[string]int64 {
+	c := r.Backend.Counters()
+	c["plan_cache_handoff_hits"] = r.handoffHits.Load()
+	c["plan_cache_handoff_misses"] = r.handoffMisses.Load()
+	if r.push {
+		c["plan_cache_replication_pushes"] = r.pushes.Load()
+	}
+	for _, p := range r.peers {
+		if pc, ok := p.(interface{ Counters() map[string]int64 }); ok {
+			for k, v := range pc.Counters() {
+				c[k] += v
+			}
+		}
+	}
+	return c
+}

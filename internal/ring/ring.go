@@ -1,0 +1,131 @@
+// Package ring is the fleet's consistent-hash ring: a deterministic
+// mapping from profile fingerprints to shard addresses that moves only
+// ~1/N of the keyspace when a shard joins or leaves.
+//
+// Each member is placed at many points on a 64-bit hash circle (virtual
+// nodes), which evens out the keyspace split far beyond what one point
+// per member gives. A key is owned by the first point clockwise of its
+// hash; the failover order for a key is the sequence of *distinct*
+// members encountered continuing clockwise, so every key has a stable,
+// member-diverse successor list the router can retry along.
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-member point count when New is given a
+// non-positive value. 128 points per member keeps the max/min keyspace
+// share within ~1.3x for small fleets.
+const DefaultVirtualNodes = 128
+
+// point is one virtual node on the circle.
+type point struct {
+	hash   uint64
+	member int32 // index into members
+}
+
+// Ring is an immutable consistent-hash ring. Build a new one to change
+// membership; Owner and Successors are safe for concurrent use.
+type Ring struct {
+	members []string
+	points  []point
+}
+
+// hashKey maps an arbitrary string onto the circle. SHA-256 (truncated)
+// rather than a cheap mixer: fingerprints are themselves hex strings of
+// a truncated SHA-256, and re-hashing keeps vnode placement and key
+// placement identically distributed regardless of key shape.
+func hashKey(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// New builds a ring over the given member addresses with vnodes points
+// per member (≤0 selects DefaultVirtualNodes). Members are deduplicated;
+// order does not affect placement (placement depends only on the member
+// string), so two routers configured with the same shard set in any
+// order agree on every key.
+func New(members []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(members))
+	var distinct []string
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("ring: empty member address")
+		}
+		if !seen[m] {
+			seen[m] = true
+			distinct = append(distinct, m)
+		}
+	}
+	if len(distinct) == 0 {
+		return nil, fmt.Errorf("ring: no members")
+	}
+	sort.Strings(distinct)
+
+	r := &Ring{
+		members: distinct,
+		points:  make([]point, 0, len(distinct)*vnodes),
+	}
+	for mi, m := range distinct {
+		for v := 0; v < vnodes; v++ {
+			h := hashKey(m + "#" + strconv.Itoa(v))
+			r.points = append(r.points, point{hash: h, member: int32(mi)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by member so placement stays
+		// total-ordered and configuration-independent.
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// Members returns the distinct member addresses in sorted order.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// start returns the index of the first point clockwise of key's hash.
+func (r *Ring) start(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the circle
+	}
+	return i
+}
+
+// Owner returns the member that owns key.
+func (r *Ring) Owner(key string) string {
+	return r.members[r.points[r.start(key)].member]
+}
+
+// Successors returns up to n distinct members in key's failover order:
+// the owner first, then each new member met walking clockwise. n ≤ 0 or
+// beyond the membership returns all members in failover order.
+func (r *Ring) Successors(key string, n int) []string {
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int32]bool, n)
+	for i, visited := r.start(key), 0; visited < len(r.points) && len(out) < n; visited++ {
+		p := r.points[(i+visited)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}

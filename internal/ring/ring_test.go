@@ -1,0 +1,141 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mustNew(t *testing.T, members []string, vnodes int) *Ring {
+	t.Helper()
+	r, err := New(members, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("fp-%06d", i)
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty membership must error")
+	}
+	if _, err := New([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty member address must error")
+	}
+	r := mustNew(t, []string{"b", "a", "b"}, 8) // dedup + sort
+	if got := r.Members(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Members = %v", got)
+	}
+}
+
+func TestOwnerDeterministicAndOrderIndependent(t *testing.T) {
+	a := mustNew(t, []string{"s1", "s2", "s3"}, 64)
+	b := mustNew(t, []string{"s3", "s1", "s2"}, 64)
+	for _, k := range keys(1000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %s depends on configuration order: %s vs %s",
+				k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestBalance(t *testing.T) {
+	members := []string{"s1", "s2", "s3"}
+	r := mustNew(t, members, DefaultVirtualNodes)
+	counts := map[string]int{}
+	const n = 30000
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	want := n / len(members)
+	for _, m := range members {
+		got := counts[m]
+		// Virtual nodes keep the split within a loose 2x band of even;
+		// in practice it is much tighter.
+		if got < want/2 || got > want*2 {
+			t.Fatalf("member %s owns %d of %d keys (want near %d): %v", m, got, n, want, counts)
+		}
+	}
+}
+
+func TestSuccessorsDistinctAndStable(t *testing.T) {
+	r := mustNew(t, []string{"s1", "s2", "s3", "s4"}, 32)
+	for _, k := range keys(200) {
+		succ := r.Successors(k, 0)
+		if len(succ) != 4 {
+			t.Fatalf("Successors(%s) = %v, want all 4 members", k, succ)
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("failover order must start at the owner: %v vs %s", succ, r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("duplicate member in failover order: %v", succ)
+			}
+			seen[m] = true
+		}
+		// A prefix request agrees with the full order.
+		if two := r.Successors(k, 2); two[0] != succ[0] || two[1] != succ[1] {
+			t.Fatalf("Successors(%s, 2) = %v, full = %v", k, two, succ)
+		}
+	}
+}
+
+// TestMinimalRemapping: removing one member must only move the keys it
+// owned; every other key keeps its owner. Adding a member must move
+// roughly 1/N of the keyspace to it and nothing between survivors.
+func TestMinimalRemapping(t *testing.T) {
+	full := mustNew(t, []string{"s1", "s2", "s3"}, DefaultVirtualNodes)
+	reduced := mustNew(t, []string{"s1", "s2"}, DefaultVirtualNodes)
+
+	moved := 0
+	for _, k := range keys(10000) {
+		was, is := full.Owner(k), reduced.Owner(k)
+		if was != "s3" && was != is {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", k, was, is)
+		}
+		if was == "s3" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("s3 owned nothing — balance is broken")
+	}
+
+	grown := mustNew(t, []string{"s1", "s2", "s3", "s4"}, DefaultVirtualNodes)
+	gained := 0
+	for _, k := range keys(10000) {
+		was, is := full.Owner(k), grown.Owner(k)
+		if is == "s4" {
+			gained++
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %s moved %s -> %s though neither is the new member", k, was, is)
+		}
+	}
+	// Expect ~1/4 of keys on the new member; allow a wide band.
+	if gained < 10000/8 || gained > 10000/2 {
+		t.Fatalf("new member gained %d of 10000 keys, want ~2500", gained)
+	}
+}
+
+func TestSingleMemberOwnsEverything(t *testing.T) {
+	r := mustNew(t, []string{"only"}, 16)
+	for _, k := range keys(50) {
+		if r.Owner(k) != "only" {
+			t.Fatal("single member must own every key")
+		}
+		if succ := r.Successors(k, 5); len(succ) != 1 || succ[0] != "only" {
+			t.Fatalf("Successors = %v", succ)
+		}
+	}
+}

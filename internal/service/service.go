@@ -30,11 +30,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sync/atomic"
 	"time"
 
+	"aptget/internal/aggregate"
 	"aptget/internal/analysis"
 	"aptget/internal/core"
 	"aptget/internal/mem"
@@ -72,6 +74,30 @@ type Config struct {
 
 	// MaxBodyBytes caps the ingest payload.
 	MaxBodyBytes int64
+
+	// Peers lists sibling shard addresses (host:port or http URL). When
+	// non-empty the plan cache becomes a Replicated backend: local misses
+	// try a warm handoff from each peer before computing, and internal
+	// requests from peers are answered from the local cache only.
+	Peers []string
+
+	// Replicate pushes every cached plan set to all Peers (best-effort),
+	// so any single shard can die without losing the fleet's plans.
+	Replicate bool
+
+	// AggregateWindow ≥2 enables fleet-wide profile aggregation on
+	// ingest: up to AggregateWindow cold same-shape profiles arriving
+	// within AggregateWait are merged (sample-count weighted) and
+	// analyzed once. ≤1 disables aggregation.
+	AggregateWindow int
+
+	// AggregateWait bounds how long the first profile of a window waits
+	// for the rest of a fleet burst (≤0 → aggregate.DefaultWait).
+	AggregateWait time.Duration
+
+	// PeerTimeout bounds one warm-handoff lookup or replication push
+	// (≤0 → planstore.DefaultRemoteTimeout).
+	PeerTimeout time.Duration
 }
 
 func (c *Config) fill() {
@@ -102,6 +128,7 @@ func (c *Config) fill() {
 type Server struct {
 	cfg     Config
 	store   *planstore.Store
+	batcher *aggregate.Batcher // nil unless AggregateWindow ≥ 2
 	sem     chan struct{}
 	handler http.Handler
 
@@ -119,9 +146,14 @@ type IngestResponse struct {
 	ShapeHash   string `json:"shape_hash"`
 	Plans       int    `json:"plans"`
 	// Outcome is how the request was served: "miss" (this request ran
-	// the analysis), "hit" (exact fingerprint), or "stale_match".
+	// the analysis), "hit" (exact fingerprint), "stale_match",
+	// "handoff" (served from a sibling shard's cache), or "aggregated"
+	// (served from one analysis of a merged fleet window).
 	Outcome      string `json:"outcome"`
 	StaleMatched bool   `json:"stale_matched"`
+	// Aggregated is the number of profiles merged into the analysis that
+	// produced these plans (0 when the request did not join a window).
+	Aggregated int `json:"aggregated,omitempty"`
 	// SourceFingerprint names the profile the served plans were computed
 	// from; differs from Fingerprint only on stale matches.
 	SourceFingerprint string `json:"source_fingerprint,omitempty"`
@@ -145,17 +177,29 @@ type errorResponse struct {
 // /v1/metrics.
 func New(cfg Config) *Server {
 	cfg.fill()
+	var backend planstore.Backend = planstore.NewLocal(cfg.CacheCapacity)
+	if len(cfg.Peers) > 0 {
+		peers := make([]planstore.Peer, 0, len(cfg.Peers))
+		for _, addr := range cfg.Peers {
+			peers = append(peers, planstore.NewRemote(addr, cfg.PeerTimeout))
+		}
+		backend = planstore.NewReplicated(backend, peers, cfg.Replicate)
+	}
 	s := &Server{
 		cfg:   cfg,
-		store: planstore.New(cfg.CacheCapacity),
+		store: planstore.NewWithBackend(backend),
 		sem:   make(chan struct{}, cfg.MaxInflight),
 		sp:    obs.Begin("aptgetd/service", obs.StageServe),
+	}
+	if cfg.AggregateWindow >= 2 {
+		s.batcher = aggregate.NewBatcher(cfg.AggregateWindow, cfg.AggregateWait)
 	}
 	s.store.AttachObs(s.sp)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/profiles", s.handleIngest)
 	mux.HandleFunc("GET /v1/plans/{fp}", s.handlePlans)
+	mux.HandleFunc("PUT /v1/plans/{fp}", s.handlePlanPut)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.handler = http.TimeoutHandler(mux, cfg.RequestTimeout,
@@ -175,6 +219,11 @@ func (s *Server) Store() *planstore.Store { return s.store }
 func (s *Server) Counters() map[string]int64 {
 	c := s.store.Counters()
 	c["requests_rejected_backpressure"] = s.rejected.Load()
+	if s.batcher != nil {
+		for k, v := range s.batcher.Counters() {
+			c[k] += v
+		}
+	}
 	return c
 }
 
@@ -281,11 +330,43 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Profile: fp,
 		Shape:   prof.ShapeHash(),
 	}
-	plans, res, err := s.store.GetOrCompute(key, func() ([]byte, error) {
-		return s.computePlans(prof)
-	})
+
+	var (
+		plans      []byte
+		res        planstore.Result
+		aggregated int
+	)
+	if s.batcher != nil {
+		// Aggregating ingest: cached profiles (exact or same-shape stale)
+		// are served immediately with the normal accounting; only cold
+		// shapes join the window, so a fleet burst of K re-profiles costs
+		// one analysis of the merged evidence.
+		var ok bool
+		plans, res, ok = s.store.TryGet(key)
+		if !ok {
+			var src wire.Fingerprint
+			var size int
+			plans, src, size, err = s.batcher.Do(r.Context(), key.Shape, prof, s.computePlans)
+			if err == nil {
+				s.store.Put(key, planstore.Entry{Plans: plans, Source: src})
+				res = planstore.Result{Outcome: planstore.OutcomeMiss, Source: src}
+				if size > 1 {
+					res.Outcome = planstore.OutcomeAggregated
+					aggregated = size
+				}
+			}
+		}
+	} else {
+		plans, res, err = s.store.GetOrCompute(key, func() ([]byte, error) {
+			return s.computePlans(prof)
+		})
+	}
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
 
@@ -294,12 +375,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Fingerprint: string(key.Profile),
 		ShapeHash:   string(key.Shape),
 		Outcome:     res.Outcome.String(),
+		Aggregated:  aggregated,
 	}
 	if ps, err := wire.DecodePlanSet(plans); err == nil {
 		resp.Plans = len(ps.Plans)
 	}
 	status := http.StatusOK
-	if res.Outcome == planstore.OutcomeMiss {
+	if res.Outcome == planstore.OutcomeMiss || res.Outcome == planstore.OutcomeAggregated {
 		status = http.StatusCreated
 	}
 	if res.Outcome == planstore.OutcomeStaleMatch {
@@ -319,15 +401,80 @@ func (s *Server) handlePlans(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 
 	fp := wire.Fingerprint(r.PathValue("fp"))
-	plans, ok := s.store.Get(fp)
+	var (
+		e  planstore.Entry
+		ok bool
+	)
+	if r.Header.Get(planstore.HeaderInternal) != "" {
+		// A sibling shard asking for a warm handoff: answer from the local
+		// cache only, so handoffs cannot recurse around the fleet.
+		e, ok = s.store.GetLocal(fp)
+	} else {
+		e, ok = s.store.Get(fp)
+	}
 	if !ok {
 		writeJSON(w, http.StatusNotFound,
 			errorResponse{Error: fmt.Sprintf("no plans for fingerprint %q", fp)})
 		return
 	}
+	if e.Source != "" {
+		w.Header().Set(planstore.HeaderSource, string(e.Source))
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.WriteHeader(http.StatusOK)
-	w.Write(plans)
+	w.Write(e.Plans)
+}
+
+// handlePlanPut is the replication endpoint: a sibling shard pushing a
+// plan set it computed. The body must decode as a canonical plan set;
+// the key comes from the path fingerprint plus the X-Apt-Shape /
+// X-Apt-Source headers. Stored locally only — replicas are never
+// re-pushed, so push replication cannot echo around the fleet.
+func (s *Server) handlePlanPut(w http.ResponseWriter, r *http.Request) {
+	if !s.acquire() {
+		s.reject(w)
+		return
+	}
+	defer s.release()
+
+	if r.ContentLength > s.cfg.MaxBodyBytes {
+		s.sp.Add("requests_rejected_oversize", 1)
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error: fmt.Sprintf("declared body length %d exceeds limit %d",
+				r.ContentLength, s.cfg.MaxBodyBytes),
+		})
+		return
+	}
+	plans, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		status := http.StatusBadRequest
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	if _, err := wire.DecodePlanSet(plans); err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity,
+			errorResponse{Error: fmt.Sprintf("body is not a canonical plan set: %v", err)})
+		return
+	}
+	key := planstore.Key{
+		Profile: wire.Fingerprint(r.PathValue("fp")),
+		Shape:   wire.ShapeHash(r.Header.Get(planstore.HeaderShape)),
+	}
+	if key.Profile == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty fingerprint"})
+		return
+	}
+	src := wire.Fingerprint(r.Header.Get(planstore.HeaderSource))
+	if src == "" {
+		src = key.Profile
+	}
+	s.store.PutLocal(key, planstore.Entry{Plans: plans, Source: src})
+	s.sp.Add("plan_cache_replica_puts", 1)
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
