@@ -45,6 +45,9 @@ type Config struct {
 	// SkipVerify disables result verification (benchmark sweeps where
 	// the same workload is verified once already).
 	SkipVerify bool
+
+	// MaxInstructions bounds each execution (0 = the cpu default guard).
+	MaxInstructions uint64
 }
 
 // DefaultConfig returns the configuration used throughout the evaluation:
@@ -192,9 +195,17 @@ func execute(w Workload, p *ir.Program, cfg Config, variant string,
 	rep *passes.Report, plans []analysis.Plan) (*Result, error) {
 
 	sp := obs.Begin(w.Name()+"/"+variant, obs.StageExecute)
-	res, err := cpu.Run(p, cfg.Machine, cpu.Options{InitMem: w.InitMem})
+	res, err := cpu.Run(p, cfg.Machine, cpu.Options{
+		InitMem:         w.InitMem,
+		MaxInstructions: cfg.MaxInstructions,
+	})
 	if err != nil {
 		sp.End()
+		// An execution error still returns the hierarchy; recycle its
+		// arena so failed runs don't bleed the pool dry.
+		if res != nil {
+			res.Hier.Release()
+		}
 		return nil, fmt.Errorf("core: running %s (%s): %w", w.Name(), variant, err)
 	}
 	if sp != nil {
@@ -206,6 +217,7 @@ func execute(w Workload, p *ir.Program, cfg Config, variant string,
 	sp.End()
 	if !cfg.SkipVerify {
 		if err := w.Verify(res.Hier.Arena); err != nil {
+			res.Hier.Release()
 			return nil, fmt.Errorf("core: %s (%s) computed a wrong result: %w",
 				w.Name(), variant, err)
 		}
@@ -280,14 +292,17 @@ func CompareFrom(newW func() Workload, cfg Config) (*Comparison, error) {
 }
 
 // GeoMean computes the geometric mean of a slice of ratios — the paper's
-// average-speedup aggregation (§4.3).
+// average-speedup aggregation (§4.3). It averages in log space: a
+// running product overflows to +Inf (or underflows to 0) for long
+// slices of large (small) ratios long before the mean itself leaves
+// float range.
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	prod := 1.0
+	sum := 0.0
 	for _, x := range xs {
-		prod *= x
+		sum += math.Log(x)
 	}
-	return math.Pow(prod, 1/float64(len(xs)))
+	return math.Exp(sum / float64(len(xs)))
 }

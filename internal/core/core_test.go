@@ -292,6 +292,23 @@ func TestGeoMean(t *testing.T) {
 	if g := GeoMean([]float64{3}); math.Abs(g-3) > 1e-12 {
 		t.Fatalf("geomean(3) = %v", g)
 	}
+	// A sweep-sized slice of large ratios: the naive product overflows
+	// float64 after ~51 elements of 1e6 and reports +Inf.
+	big := make([]float64, 400)
+	for i := range big {
+		big[i] = 1e6
+	}
+	if g := GeoMean(big); math.IsInf(g, 1) || math.Abs(g-1e6) > 1e-3 {
+		t.Fatalf("geomean of 400 x 1e6 = %v, want 1e6", g)
+	}
+	// And the mirror case: many small ratios underflow the product to 0.
+	small := make([]float64, 400)
+	for i := range small {
+		small[i] = 1e-6
+	}
+	if g := GeoMean(small); g == 0 || math.Abs(g-1e-6) > 1e-15 {
+		t.Fatalf("geomean of 400 x 1e-6 = %v, want 1e-6", g)
+	}
 }
 
 func TestConfigFillDefaults(t *testing.T) {

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"aptget/internal/cpu"
+	"aptget/internal/mem"
+)
+
+// TestFailedRunsRecycleArena locks the error-path arena recycling in
+// execute: a run that dies mid-execution (instruction limit) or fails
+// verification must still return its arena to the pool. Before the fix
+// both paths dropped the hierarchy on the floor, so a study with a few
+// failing variants bled the pool dry and every subsequent run paid a
+// fresh multi-megabyte allocation.
+//
+// The workload sizes are chosen so p.MemSize lands in a pool bucket no
+// other test uses; the bucket's length is then a precise leak counter.
+func TestFailedRunsRecycleArena(t *testing.T) {
+	const oddTable = 7321
+	sizer := newMicro(9, 7)
+	sizer.table = oddTable
+	p, err := sizer.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := p.MemSize
+	if n := mem.PoolLen(size); n != 0 {
+		t.Fatalf("pool bucket for size %d already holds %d arenas; pick a more unusual size", size, n)
+	}
+
+	// Path 1: verification failure after a clean run.
+	w := newMicro(9, 7)
+	w.table = oddTable
+	if _, err := RunBaseline(&brokenWorkload{w}, DefaultConfig()); err == nil {
+		t.Fatal("verification should fail for the broken workload")
+	}
+	if n := mem.PoolLen(size); n != 1 {
+		t.Fatalf("verify-failure path leaked the arena: pool holds %d, want 1", n)
+	}
+
+	// Path 2: execution error (instruction limit). NewArena pops the
+	// recycled arena, so a correct release brings the bucket back to 1.
+	w = newMicro(9, 7)
+	w.table = oddTable
+	cfg := DefaultConfig()
+	cfg.MaxInstructions = 50
+	_, err = RunBaseline(w, cfg)
+	if !errors.Is(err, cpu.ErrInstructionLimit) {
+		t.Fatalf("want ErrInstructionLimit, got %v", err)
+	}
+	if n := mem.PoolLen(size); n != 1 {
+		t.Fatalf("cpu-error path leaked the arena: pool holds %d, want 1", n)
+	}
+}

@@ -1,0 +1,128 @@
+// Checkpoint/resume determinism properties. These live in an external
+// test package so they can drive the real workload corpus (workloads →
+// core → cpu would otherwise be an import cycle).
+package cpu_test
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"aptget/internal/cpu"
+	"aptget/internal/mem"
+	"aptget/internal/pmu"
+	"aptget/internal/testkit"
+	"aptget/internal/workloads"
+)
+
+// TestCheckpointSplitDeterminism is the contract the online re-planner
+// stands on: a run split at any K checkpoint boundaries is
+// counter-identical to the unsplit run — same PMU counters, same LBR
+// snapshots (cycle stamps and ring contents), same PEBS attribution.
+// Split points are drawn seed-stably so a failure reproduces as-is.
+func TestCheckpointSplitDeterminism(t *testing.T) {
+	// A registry cross-section (graph traversal, hash join, SpMV, GUPS)
+	// plus the phase-changing corpus the re-planner targets. The full
+	// registry would push this test past a minute; these cover every
+	// distinct control shape.
+	keys := []string{"DFS", "CG", "randAcc", "HJ2", "phaseSG", "phaseRamp", "phaseFlat"}
+	rng := testkit.NewRNG(0x5EED_CB07)
+	const splits = 3
+
+	for _, key := range keys {
+		e, ok := workloads.ByKey(key)
+		if !ok {
+			t.Fatalf("workload %q not in registry", key)
+		}
+		t.Run(key, func(t *testing.T) {
+			opts := cpu.Options{SamplePeriod: 25_000, PEBSPeriod: 7}
+
+			unsplit := runResumable(t, e, opts, nil)
+			defer unsplit.Hier.Release()
+
+			total := unsplit.Counters.Cycles
+			stops := make([]uint64, 0, splits)
+			for len(stops) < splits {
+				c := 1 + uint64(rng.Int63n(int64(total)))
+				stops = append(stops, c)
+			}
+			sort.Slice(stops, func(i, j int) bool { return stops[i] < stops[j] })
+
+			split := runResumable(t, e, opts, stops)
+			defer split.Hier.Release()
+
+			if !reflect.DeepEqual(unsplit.Counters, split.Counters) {
+				t.Errorf("counters diverge after splitting at %v:\nunsplit: %+v\nsplit:   %+v",
+					stops, unsplit.Counters, split.Counters)
+			}
+			if !reflect.DeepEqual(unsplit.LBRSamples, split.LBRSamples) {
+				t.Errorf("LBR samples diverge after splitting at %v: %d vs %d samples",
+					stops, len(unsplit.LBRSamples), len(split.LBRSamples))
+			}
+			if !reflect.DeepEqual(unsplit.PEBS.Counts(), split.PEBS.Counts()) {
+				t.Errorf("PEBS attribution diverges after splitting at %v", stops)
+			}
+		})
+	}
+}
+
+// runResumable builds a fresh instance of the workload and runs it via
+// the resumable machine, pausing at each of the given stop cycles. A nil
+// stops slice runs to completion in one Resume.
+func runResumable(t *testing.T, e workloads.Entry, opts cpu.Options, stops []uint64) *cpu.Result {
+	t.Helper()
+	w := e.New()
+	p, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.InitMem = w.InitMem
+	st, err := cpu.New(p, mem.ConfigScaled(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	for _, stop := range stops {
+		done, err := st.Resume(stop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+		cp := st.Checkpoint()
+		if cp.Cycle < stop {
+			t.Fatalf("paused at cycle %d, before the requested stop %d", cp.Cycle, stop)
+		}
+		if cp.Cycle < prev {
+			t.Fatalf("checkpoint cycle went backwards: %d after %d", cp.Cycle, prev)
+		}
+		prev = cp.Cycle
+	}
+	done, err := st.Resume(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("Resume(0) returned without finishing")
+	}
+	if err := w.Verify(st.Result().Hier.Arena); err != nil {
+		t.Fatalf("workload verification failed on resumable run: %v", err)
+	}
+	return st.Result()
+}
+
+// TestCheckpointCountersMatchFinal locks Checkpoint's snapshot shape:
+// after the run retires, the checkpoint view and the final Result agree.
+func TestCheckpointCountersMatchFinal(t *testing.T) {
+	e, ok := workloads.ByKey("phaseFlat")
+	if !ok {
+		t.Fatal("phaseFlat not registered")
+	}
+	res := runResumable(t, e, cpu.Options{SamplePeriod: 25_000}, []uint64{100_000})
+	defer res.Hier.Release()
+	var zero pmu.Counters
+	if res.Counters == zero {
+		t.Fatal("final counters are zero")
+	}
+}

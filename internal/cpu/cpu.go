@@ -9,11 +9,15 @@
 // The core also houses the profiling hardware: a Last Branch Record ring
 // that captures every taken branch with its cycle stamp, periodic LBR
 // snapshots, and PEBS sampling of LLC-miss loads.
+//
+// A run is a resumable machine (State): New prepares it, Resume executes
+// it in one or more slices that pause at basic-block boundaries, and
+// SwapPlan replaces the injected prefetch code mid-run for online
+// re-planning. Run is the single-shot convenience wrapper.
 package cpu
 
 import (
 	"errors"
-	"fmt"
 
 	"aptget/internal/ir"
 	"aptget/internal/lbr"
@@ -26,7 +30,9 @@ import (
 type Options struct {
 	// SamplePeriod, when non-zero, snapshots the LBR ring every
 	// SamplePeriod cycles (the perf-record analog of the paper's 1 ms
-	// default, §3.2).
+	// default, §3.2). Snapshots re-arm on fixed period boundaries: an
+	// instruction whose latency overshoots a boundary samples late, but
+	// the next boundary stays on the grid.
 	SamplePeriod uint64
 	// PEBSPeriod, when non-zero, samples every PEBSPeriod-th LLC-miss
 	// load PC.
@@ -56,246 +62,16 @@ type Result struct {
 var ErrInstructionLimit = errors.New("cpu: instruction limit exceeded")
 
 // Run executes the program to completion on a fresh memory hierarchy.
+// On an execution error the returned Result is still non-nil and carries
+// the Hierarchy, so the caller can release its arena; only a program
+// that fails validation returns a nil Result.
 func Run(p *ir.Program, cfg mem.Config, opts Options) (*Result, error) {
-	f := p.Func
-	if err := f.Validate(); err != nil {
+	s, err := New(p, cfg, opts)
+	if err != nil {
 		return nil, err
 	}
-	f.AssignPCs()
-
-	h := mem.New(cfg, p.MemSize)
-	if opts.InitMem != nil {
-		opts.InitMem(h.Arena)
+	if _, err := s.Resume(0); err != nil {
+		return s.res, err
 	}
-
-	maxInstr := opts.MaxInstructions
-	if maxInstr == 0 {
-		maxInstr = defaultMaxInstructions
-	}
-
-	res := &Result{Hier: h}
-	ring := lbr.New(opts.LBRWidth)
-	if opts.PEBSPeriod > 0 {
-		res.PEBS = pebs.NewSampler(opts.PEBSPeriod)
-	}
-
-	regs := make([]int64, len(f.Instrs))
-	ctr := &res.Counters
-
-	// Hot-loop locals: the instruction table and the retired-instruction
-	// count live in locals (flushed to the counters on return), and the
-	// per-instruction sampling check is hoisted to a single bool.
-	fIns := f.Instrs
-	sampling := opts.SamplePeriod > 0
-	var icount uint64
-
-	// Pre-resolve the first two operands of every instruction into flat
-	// arrays: the dispatch loop indexes regs directly instead of chasing
-	// each instruction's Args slice header. (OpSelect's third operand and
-	// phi inputs stay on the slice — they're off the hot path.)
-	arg0 := make([]ir.Value, len(fIns))
-	arg1 := make([]ir.Value, len(fIns))
-	for i := range fIns {
-		if a := fIns[i].Args; len(a) > 1 {
-			arg0[i], arg1[i] = a[0], a[1]
-		} else if len(a) == 1 {
-			arg0[i] = a[0]
-		}
-	}
-
-	var cycle uint64
-	nextSample := opts.SamplePeriod
-
-	// Per-block first-PC table for LBR targets.
-	firstPC := make([]uint64, len(f.Blocks))
-	for _, b := range f.Blocks {
-		if len(b.Instrs) > 0 {
-			firstPC[b.ID] = fIns[b.Instrs[0]].PC
-		}
-	}
-
-	// Scratch for two-phase phi resolution.
-	var phiVals []int64
-
-	cur := f.Blocks[f.Entry]
-	prev := ir.NoBlock
-
-	for {
-		instrs := cur.Instrs
-
-		// Phase 1: phi resolution on block entry.
-		nPhi := 0
-		for _, v := range instrs {
-			if fIns[v].Op != ir.OpPhi {
-				break
-			}
-			nPhi++
-		}
-		if nPhi > 0 {
-			phiVals = phiVals[:0]
-			for i := 0; i < nPhi; i++ {
-				ins := &fIns[instrs[i]]
-				found := false
-				for j, pb := range ins.PhiPreds {
-					if pb == prev {
-						phiVals = append(phiVals, regs[ins.Args[j]])
-						found = true
-						break
-					}
-				}
-				if !found {
-					return nil, fmt.Errorf("cpu: %s: phi v%d has no incoming for pred b%d",
-						f.Name, instrs[i], prev)
-				}
-			}
-			for i := 0; i < nPhi; i++ {
-				regs[instrs[i]] = phiVals[i]
-			}
-		}
-
-		var nextBlock ir.BlockID = ir.NoBlock
-
-		for idx := nPhi; idx < len(instrs); idx++ {
-			v := instrs[idx]
-			ins := &fIns[v]
-			switch ins.Op {
-			case ir.OpConst:
-				regs[v] = ins.Imm
-				cycle++
-
-			case ir.OpAdd:
-				regs[v] = regs[arg0[v]] + regs[arg1[v]]
-				cycle++
-			case ir.OpSub:
-				regs[v] = regs[arg0[v]] - regs[arg1[v]]
-				cycle++
-			case ir.OpMul:
-				regs[v] = regs[arg0[v]] * regs[arg1[v]]
-				cycle += 3
-			case ir.OpDiv:
-				d := regs[arg1[v]]
-				if d == 0 {
-					regs[v] = 0
-				} else {
-					regs[v] = regs[arg0[v]] / d
-				}
-				cycle += 20
-			case ir.OpRem:
-				d := regs[arg1[v]]
-				if d == 0 {
-					regs[v] = 0
-				} else {
-					regs[v] = regs[arg0[v]] % d
-				}
-				cycle += 20
-			case ir.OpAnd:
-				regs[v] = regs[arg0[v]] & regs[arg1[v]]
-				cycle++
-			case ir.OpOr:
-				regs[v] = regs[arg0[v]] | regs[arg1[v]]
-				cycle++
-			case ir.OpXor:
-				regs[v] = regs[arg0[v]] ^ regs[arg1[v]]
-				cycle++
-			case ir.OpShl:
-				regs[v] = regs[arg0[v]] << uint64(regs[arg1[v]]&63)
-				cycle++
-			case ir.OpShr:
-				regs[v] = regs[arg0[v]] >> uint64(regs[arg1[v]]&63)
-				cycle++
-
-			case ir.OpCmp:
-				if ins.Pred.Eval(regs[arg0[v]], regs[arg1[v]]) {
-					regs[v] = 1
-				} else {
-					regs[v] = 0
-				}
-				cycle++
-			case ir.OpSelect:
-				if regs[arg0[v]] != 0 {
-					regs[v] = regs[arg1[v]]
-				} else {
-					regs[v] = regs[ins.Args[2]]
-				}
-				cycle++
-
-			case ir.OpLoad:
-				addr := regs[arg0[v]]
-				r := h.Access(cycle, ins.PC, addr, mem.KindLoad)
-				cycle += r.Latency
-				regs[v] = h.Arena.Read(addr, ins.Size)
-				ctr.Loads++
-				if res.PEBS != nil && r.Served == mem.LevelDRAM {
-					res.PEBS.ObserveMiss(ins.PC)
-				}
-
-			case ir.OpStore:
-				addr := regs[arg0[v]]
-				r := h.Access(cycle, ins.PC, addr, mem.KindStore)
-				cycle += r.Latency
-				h.Arena.Write(addr, regs[arg1[v]], ins.Size)
-				ctr.Stores++
-
-			case ir.OpPrefetch:
-				addr := regs[arg0[v]]
-				if addr >= 0 && addr < h.Arena.Size() {
-					r := h.Access(cycle, ins.PC, addr, mem.KindSWPrefetch)
-					cycle += r.Latency
-				} else {
-					// Out-of-bounds prefetch: real hardware drops it
-					// without faulting; it still costs the issue slot.
-					cycle++
-				}
-				ctr.SWPrefetches++
-
-			case ir.OpBr:
-				ctr.Branches++
-				cycle++
-				if regs[arg0[v]] != 0 {
-					nextBlock = cur.Succs[0]
-					ctr.TakenBranches++
-					ring.Push(ins.PC, firstPC[nextBlock], cycle)
-				} else {
-					nextBlock = cur.Succs[1]
-				}
-
-			case ir.OpJmp:
-				ctr.Branches++
-				ctr.TakenBranches++
-				cycle++
-				nextBlock = cur.Succs[0]
-				ring.Push(ins.PC, firstPC[nextBlock], cycle)
-
-			case ir.OpRet:
-				cycle++
-				ctr.Instructions = icount + 1
-				ctr.Cycles = cycle
-				ctr.Mem = h.Stats
-				return res, nil
-
-			default:
-				return nil, fmt.Errorf("cpu: %s: unexecutable op %s at pc %d",
-					f.Name, ins.Op, ins.PC)
-			}
-
-			icount++
-			if icount > maxInstr {
-				return nil, fmt.Errorf("%w: %s after %d instructions",
-					ErrInstructionLimit, f.Name, maxInstr)
-			}
-			if sampling && cycle >= nextSample {
-				res.LBRSamples = append(res.LBRSamples, lbr.Sample{
-					Cycle:   cycle,
-					Entries: ring.Snapshot(),
-				})
-				nextSample = cycle + opts.SamplePeriod
-			}
-		}
-
-		if nextBlock == ir.NoBlock {
-			return nil, fmt.Errorf("cpu: %s: block b%d fell through", f.Name, cur.ID)
-		}
-		prev = cur.ID
-		cur = f.Blocks[nextBlock]
-	}
+	return s.res, nil
 }

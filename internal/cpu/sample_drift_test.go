@@ -1,0 +1,60 @@
+package cpu
+
+import (
+	"testing"
+
+	"aptget/internal/mem"
+)
+
+// TestLBRSamplePeriodNoDrift locks the fixed-grid re-arm of the LBR
+// snapshot timer. The sampler models a timer-driven perf record: the
+// k-th snapshot belongs to the grid point (k+1)*P and fires at the
+// first retirement at or past it. Re-arming relative to the *retirement*
+// cycle instead (the old `nextSample = cycle + period`) adds the
+// overshoot of every long-latency miss to all later samples, so a
+// miss-heavy loop — overshoot up to DRAM latency per sample — drifts by
+// a full period every ~10 samples and under-samples exactly the phases
+// profiling cares about most.
+//
+// With P well above the worst single-instruction latency, every grid
+// point must be sampled within one period (before the fix this fails at
+// roughly the 20th sample) and the sample count must match the grid.
+func TestLBRSamplePeriodNoDrift(t *testing.T) {
+	const (
+		n      = 4096
+		table  = 1 << 18 // 2 MiB of int64: random gathers mostly miss to DRAM
+		period = 2048    // ≫ max single-access latency (~250 cycles)
+	)
+	p, bArr, tArr, _ := indirectProgram(n, table, 0)
+	res, err := Run(p, mem.ConfigScaled(), Options{
+		SamplePeriod: period,
+		InitMem:      initIndirect(bArr, tArr, n, table),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LBRSamples) < 50 {
+		t.Fatalf("only %d samples; the workload is supposed to be miss-heavy enough for hundreds", len(res.LBRSamples))
+	}
+
+	for k, s := range res.LBRSamples {
+		grid := uint64(k+1) * period
+		if s.Cycle < grid {
+			t.Fatalf("sample %d at cycle %d fired before its grid point %d", k, s.Cycle, grid)
+		}
+		if s.Cycle >= grid+period {
+			t.Fatalf("sample %d at cycle %d drifted past its grid point %d by a full period (drift bug)",
+				k, s.Cycle, grid)
+		}
+	}
+
+	// Every grid point before retirement is crossed by some instruction,
+	// so the count must match the grid (the final partial period and a
+	// boundary crossed by the ret itself are not sampled).
+	want := res.Counters.Cycles / period
+	got := uint64(len(res.LBRSamples))
+	if got != want && got != want-1 {
+		t.Fatalf("%d samples over %d cycles at period %d; want %d (±1): sampling drifted off the grid",
+			got, res.Counters.Cycles, period, want)
+	}
+}

@@ -53,6 +53,7 @@ func buildAll() map[string]Runner {
 		"fig6x":    wrap(Fig6x),
 		"ablation": wrap(Ablation),
 		"lbrwidth": wrap(LBRWidth),
+		"replan":   wrap(Replan),
 	}
 }
 

@@ -60,6 +60,15 @@ func (a *Arena) Recycle() {
 	arenaPool.Unlock()
 }
 
+// PoolLen reports how many recycled arenas of the given size the pool
+// currently holds. It exists so tests can assert that every run path —
+// including failed ones — returns its arena to the pool.
+func PoolLen(size int64) int {
+	arenaPool.Lock()
+	defer arenaPool.Unlock()
+	return len(arenaPool.bySize[size])
+}
+
 // Size returns the arena size in bytes.
 func (a *Arena) Size() int64 { return int64(len(a.data)) }
 

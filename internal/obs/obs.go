@@ -42,6 +42,10 @@ const (
 	// stale-match counters and backpressure rejections live on one
 	// long-lived span per server, mutated concurrently by handlers.
 	StageServe = "serve"
+
+	// StageReplan scopes the online re-planning controller: windows
+	// observed, degradation triggers, re-profiles and hot-swaps.
+	StageReplan = "replan"
 )
 
 // stageRank orders the canonical stages in pipeline order for reports.

@@ -20,6 +20,12 @@ type AptGetOptions struct {
 	// Obs, when non-nil, receives the pass's counters — slice sizes,
 	// prefetches injected, skip reasons (aptbench -report).
 	Obs *obs.Span
+	// KeepPCs skips the final whole-function PC renumbering. Online
+	// plan hot-swap injects into a program that is mid-execution: the
+	// original PCs must stay stable (live LBR/PEBS samples and plan
+	// provenance reference them), and cpu.State.SwapPlan assigns fresh
+	// PCs to the new instructions itself.
+	KeepPCs bool
 }
 
 // AptGet applies the APT-GET profile-guided pass (Algorithm 2 with
@@ -77,7 +83,9 @@ func AptGet(p *ir.Program, plans []analysis.Plan, opt AptGetOptions) (*Report, e
 		rep.Loads = append(rep.Loads, lr)
 	}
 	rep.observe(opt.Obs)
-	f.AssignPCs()
+	if !opt.KeepPCs {
+		f.AssignPCs()
+	}
 	if err := f.Validate(); err != nil {
 		return rep, fmt.Errorf("passes: apt-get produced invalid IR: %w", err)
 	}

@@ -38,6 +38,17 @@ func (s *Sampler) ObserveMiss(pc uint64) {
 // Samples returns the number of recorded samples.
 func (s *Sampler) Samples() uint64 { return s.total }
 
+// Counts returns a copy of the per-PC sample counts. Callers that watch
+// a live run (online re-planning) snapshot Counts at window boundaries
+// and subtract to get per-window miss attribution.
+func (s *Sampler) Counts() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(s.byPC))
+	for pc, n := range s.byPC {
+		out[pc] = n
+	}
+	return out
+}
+
 // Load is a delinquent-load candidate.
 type Load struct {
 	PC      uint64

@@ -77,6 +77,9 @@ func Collect(p *ir.Program, cfg mem.Config, initMem func(*mem.Arena), opt Option
 		InitMem:      initMem,
 	})
 	if err != nil {
+		if res != nil {
+			res.Hier.Release()
+		}
 		return nil, fmt.Errorf("profile: %w", err)
 	}
 	// The profiling run's memory is only needed while the program executes;

@@ -1,0 +1,157 @@
+package replan
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"aptget/internal/analysis"
+	"aptget/internal/core"
+	"aptget/internal/service"
+	"aptget/internal/workloads"
+)
+
+// trainStale computes the stale one-shot plan: profile and analyze only
+// the workload's first phase — the train/test split of Figure 12, where
+// the plan ships before the later phases exist — then run the full
+// workload with it.
+func trainStale(t *testing.T, e workloads.Entry, cfg core.Config) ([]analysis.Plan, *core.Result) {
+	t.Helper()
+	train := e.New().(*workloads.Phased).Prefix(1)
+	_, plans, err := core.ProfileAndPlan(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.RunWithPlans(e.New(), plans, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plans, res
+}
+
+func entry(t *testing.T, key string) workloads.Entry {
+	t.Helper()
+	e, ok := workloads.ByKey(key)
+	if !ok {
+		t.Fatalf("workload %q not registered", key)
+	}
+	return e
+}
+
+// TestAdaptiveBeatsStaleOnPhaseChange is the headline property: on the
+// stride→gather workload the first-phase profile sees a hardware-covered
+// stream and plans nothing, so the stale run eats every gather miss. The
+// controller must detect the phase change, re-profile, hot-swap a plan,
+// and land well under the stale cycle count. Run verifies the
+// architectural result after the mid-run swap.
+func TestAdaptiveBeatsStaleOnPhaseChange(t *testing.T) {
+	e := entry(t, "phaseSG")
+	cfg := core.DefaultConfig()
+
+	plans, stale := trainStale(t, e, cfg)
+	ad, err := Run(e.New(), plans, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ad.Swaps < 1 {
+		t.Fatalf("no hot-swap on a phase-changing workload; decisions: %+v", ad.Decisions)
+	}
+	if len(ad.SwapCycles) != ad.Swaps {
+		t.Fatalf("Swaps=%d but %d swap cycles recorded", ad.Swaps, len(ad.SwapCycles))
+	}
+	if ad.Counters.Cycles >= stale.Counters.Cycles*4/5 {
+		t.Fatalf("adaptive %d cycles vs stale %d: want at least a 1.25x win",
+			ad.Counters.Cycles, stale.Counters.Cycles)
+	}
+	if len(ad.Plans) == 0 {
+		t.Fatal("no active plans after a swap")
+	}
+}
+
+// TestNoFalseTriggers pins the controller's specificity: on a stationary
+// gather and on a footprint ramp whose first-phase plan stays timely,
+// the one-shot plan must be left alone — and because LBR/PEBS sampling
+// costs no simulated cycles, the adaptive run must then be
+// cycle-identical to the stale run, not merely close.
+func TestNoFalseTriggers(t *testing.T) {
+	for _, key := range []string{"phaseFlat", "phaseRamp"} {
+		t.Run(key, func(t *testing.T) {
+			e := entry(t, key)
+			cfg := core.DefaultConfig()
+
+			plans, stale := trainStale(t, e, cfg)
+			ad, err := Run(e.New(), plans, cfg, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ad.Swaps != 0 {
+				t.Fatalf("%d spurious swap(s) at cycles %v; decisions: %+v",
+					ad.Swaps, ad.SwapCycles, ad.Decisions)
+			}
+			if ad.Counters.Cycles != stale.Counters.Cycles {
+				t.Fatalf("swap-free adaptive run took %d cycles, stale %d: monitoring must be free",
+					ad.Counters.Cycles, stale.Counters.Cycles)
+			}
+		})
+	}
+}
+
+// TestServicePlannerEndToEnd swaps the in-process analysis for a real
+// aptgetd round trip: the window profile is POSTed to a live server,
+// the served plan set is mapped back by load name, and the swap still
+// lands. This is the fleet deployment shape — one daemon re-planning
+// for many running instances.
+func TestServicePlannerEndToEnd(t *testing.T) {
+	ts := httptest.NewServer(service.New(service.Config{}).Handler())
+	defer ts.Close()
+
+	e := entry(t, "phaseSG")
+	cfg := core.DefaultConfig()
+	plans, stale := trainStale(t, e, cfg)
+
+	ad, err := Run(e.New(), plans, cfg, Options{
+		Planner: &ServicePlanner{App: "phaseSG", BaseURL: ts.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Swaps < 1 {
+		t.Fatalf("no hot-swap via the plan service; decisions: %+v", ad.Decisions)
+	}
+	if ad.Counters.Cycles >= stale.Counters.Cycles {
+		t.Fatalf("service-planned adaptive run (%d cycles) did not beat stale (%d)",
+			ad.Counters.Cycles, stale.Counters.Cycles)
+	}
+}
+
+// TestDecisionLogShape checks the controller's observability contract:
+// one decision per window, monotone cycles, and triggered windows carry
+// a reason.
+func TestDecisionLogShape(t *testing.T) {
+	e := entry(t, "phaseSG")
+	cfg := core.DefaultConfig()
+	plans, _ := trainStale(t, e, cfg)
+	ad, err := Run(e.New(), plans, cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ad.Decisions) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	var prev uint64
+	for i, d := range ad.Decisions {
+		if d.Window != i+1 {
+			t.Fatalf("decision %d has window index %d, want %d (windows are 1-based)", i, d.Window, i+1)
+		}
+		if d.Cycle < prev {
+			t.Fatalf("decision cycles went backwards: %d after %d", d.Cycle, prev)
+		}
+		prev = d.Cycle
+		if d.Triggered && d.Reason == "" {
+			t.Fatalf("window %d triggered without a reason", i)
+		}
+		if d.Swapped && !d.Triggered {
+			t.Fatalf("window %d swapped without triggering", i)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package replan
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"aptget/internal/analysis"
+	"aptget/internal/ir"
+	"aptget/internal/profile"
+	"aptget/internal/wire"
+)
+
+// ServicePlanner re-analyzes via an aptgetd re-ingest: the window
+// profile is encoded to the canonical wire form and POSTed to
+// /v1/profiles, and the served plan set is mapped back onto the live
+// program. The daemon analyzes against its own registry build of App,
+// so served plans are resolved here by load name first (the AutoFDO
+// mapping both builds share) and PC second. Best used on runs whose
+// original code region the daemon's build matches — i.e. profiles of
+// unmodified phases; the delinquent-share gate keeps injected slice
+// loads out of the upload.
+type ServicePlanner struct {
+	// App is the registry key the daemon rebuilds for analysis.
+	App string
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7717".
+	BaseURL string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+// Plan implements Planner.
+func (s *ServicePlanner) Plan(p *ir.Program, prof *profile.Profile) ([]analysis.Plan, error) {
+	client := s.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	wp := wire.ProfileOf(s.App, p, prof)
+	body := wire.EncodeProfile(wp)
+
+	resp, err := client.Post(s.BaseURL+"/v1/profiles", "application/octet-stream",
+		bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("replan: ingest: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("replan: ingest: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var ing struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		return nil, fmt.Errorf("replan: ingest response: %w", err)
+	}
+
+	pr, err := client.Get(s.BaseURL + "/v1/plans/" + ing.Fingerprint)
+	if err != nil {
+		return nil, fmt.Errorf("replan: fetch plans: %w", err)
+	}
+	defer pr.Body.Close()
+	if pr.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("replan: fetch plans: %s", pr.Status)
+	}
+	data, err := io.ReadAll(pr.Body)
+	if err != nil {
+		return nil, fmt.Errorf("replan: fetch plans: %w", err)
+	}
+	ps, err := wire.DecodePlanSet(data)
+	if err != nil {
+		return nil, fmt.Errorf("replan: decode plans: %w", err)
+	}
+	return PlansFromWire(p.Func, ps)
+}
+
+// PlansFromWire maps a served plan set onto the live function: each
+// plan's load is resolved by debug name first, then by PC, and the
+// distances, site, and Equation (1)/(2) provenance are carried over.
+func PlansFromWire(f *ir.Func, ps *wire.PlanSet) ([]analysis.Plan, error) {
+	var plans []analysis.Plan
+	for _, wp := range ps.Plans {
+		v := findLoadByName(f, wp.LoadName)
+		if v == ir.NoValue {
+			v = f.FindByPC(wp.LoadPC)
+		}
+		if v == ir.NoValue || f.Instr(v).Op != ir.OpLoad {
+			return nil, fmt.Errorf("replan: served plan %q (pc %d) has no load in the live program",
+				wp.LoadName, wp.LoadPC)
+		}
+		site := analysis.SiteInner
+		if wp.Site == analysis.SiteOuter.String() {
+			site = analysis.SiteOuter
+		}
+		plan := analysis.Plan{
+			LoadPC:        f.Instr(v).PC,
+			LoadName:      wp.LoadName,
+			Load:          v,
+			Distance:      wp.Distance,
+			Site:          site,
+			InnerDistance: wp.InnerDistance,
+			OuterDistance: wp.OuterDistance,
+			AvgTrip:       wp.AvgTrip,
+			Fallback:      wp.Fallback,
+		}
+		plan.Inner.IC = wp.IC
+		plan.Inner.MC = wp.MC
+		plan.Inner.Peaks = wp.PeaksInner
+		plans = append(plans, plan)
+	}
+	return plans, nil
+}
+
+func findLoadByName(f *ir.Func, name string) ir.Value {
+	if name == "" {
+		return ir.NoValue
+	}
+	for _, b := range f.Blocks {
+		for _, v := range b.Instrs {
+			if f.Instrs[v].Op == ir.OpLoad && f.Instrs[v].Name == name {
+				return v
+			}
+		}
+	}
+	return ir.NoValue
+}

@@ -1,0 +1,82 @@
+package workloads
+
+import (
+	"testing"
+
+	"aptget/internal/core"
+)
+
+// TestPhasedRegistryResolves pins the re-planning corpus into ByKey and
+// proves each entry builds, runs, and verifies end to end.
+func TestPhasedRegistryResolves(t *testing.T) {
+	for _, want := range []string{"phaseSG", "phaseRamp", "phaseFlat"} {
+		e, ok := ByKey(want)
+		if !ok {
+			t.Fatalf("%s not resolvable via ByKey", want)
+		}
+		if e.New().Name() != want {
+			t.Fatalf("%s entry builds workload named %q", want, e.New().Name())
+		}
+	}
+	e, _ := ByKey("phaseSG")
+	if _, err := core.RunBaseline(e.New(), core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPhasedDataSchedule checks the phase structure lives in the data:
+// stride phases are sequential modulo their span, gather phases stay in
+// bounds, and the schedule is deterministic (the stale-plan study and
+// the adaptive run must see identical inputs).
+func TestPhasedDataSchedule(t *testing.T) {
+	p := NewPhaseSG("sg", 4, 100)
+	bs := p.data()
+	if int64(len(bs)) != p.Total() {
+		t.Fatalf("schedule has %d entries, want %d", len(bs), p.Total())
+	}
+	for ph, phase := range p.Phases {
+		base := int64(ph) * p.PerPhase
+		for k := int64(0); k < p.PerPhase; k++ {
+			v := bs[base+k]
+			if v < 0 || v >= phase.Span {
+				t.Fatalf("phase %d entry %d = %d outside span %d", ph, k, v, phase.Span)
+			}
+			if phase.Kind == PhaseStride && v != k%phase.Span {
+				t.Fatalf("stride phase %d entry %d = %d, want %d", ph, k, v, k%phase.Span)
+			}
+		}
+	}
+	again := NewPhaseSG("sg", 4, 100).data()
+	for i := range bs {
+		if bs[i] != again[i] {
+			t.Fatalf("schedule not deterministic at entry %d", i)
+		}
+	}
+}
+
+// TestPhasedPrefix checks the train/test split: the prefix variant keeps
+// only the leading phases, renames itself, and clamps.
+func TestPhasedPrefix(t *testing.T) {
+	p := NewPhaseSG("sg", 4, 100)
+	tr := p.Prefix(1)
+	if tr.Name() != "sg-train" {
+		t.Fatalf("prefix name %q", tr.Name())
+	}
+	if len(tr.Phases) != 1 || tr.Total() != 100 {
+		t.Fatalf("prefix kept %d phases, total %d", len(tr.Phases), tr.Total())
+	}
+	if tr.Phases[0].Kind != PhaseStride {
+		t.Fatal("phaseSG must start with a stride phase for the stale-plan study")
+	}
+	if clamped := p.Prefix(10); len(clamped.Phases) != 4 {
+		t.Fatalf("Prefix(10) kept %d phases, want all 4", len(clamped.Phases))
+	}
+	// The ramp's footprint must actually ramp past the 512 KiB LLC.
+	r := NewPhaseRamp("ramp", 3, 100)
+	if first := r.Phases[0].Span * 8; first > 512<<10 {
+		t.Fatalf("ramp starts at %d bytes, should be LLC-resident", first)
+	}
+	if last := r.Phases[len(r.Phases)-1].Span * 8; last <= 512<<10 {
+		t.Fatalf("ramp ends at %d bytes, should exceed the LLC", last)
+	}
+}

@@ -97,9 +97,15 @@ func Registry() []Entry {
 	}
 }
 
-// ByKey returns the registry entry with the given key.
+// ByKey returns the registry entry with the given key, searching the
+// Table 3 corpus and the phase-changing corpus (PhasedRegistry).
 func ByKey(key string) (Entry, bool) {
 	for _, e := range Registry() {
+		if e.Key == key {
+			return e, true
+		}
+	}
+	for _, e := range PhasedRegistry() {
 		if e.Key == key {
 			return e, true
 		}
