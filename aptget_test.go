@@ -27,8 +27,8 @@ func TestPublicRegistries(t *testing.T) {
 	if len(Workloads()) != 11 {
 		t.Fatalf("want 11 applications, got %d", len(Workloads()))
 	}
-	if len(Experiments()) != 17 {
-		t.Fatalf("want 17 experiments, got %d", len(Experiments()))
+	if len(Experiments()) != 18 {
+		t.Fatalf("want 18 experiments, got %d", len(Experiments()))
 	}
 	if _, ok := WorkloadByKey("nope"); ok {
 		t.Fatal("unknown key should miss")

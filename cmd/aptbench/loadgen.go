@@ -44,6 +44,15 @@ type loadgenOptions struct {
 	Rate float64
 	// Seed makes the Poisson arrival sequence reproducible (0 → 1).
 	Seed int64
+
+	// Relocate != 0 turns the run into the stale-shape scenario: the
+	// cache is warmed with each original profile, then every PC in the
+	// corpus (loads and LBR endpoints) is shifted by this constant — the
+	// same binary re-linked at a different base — and the shifted
+	// profiles are replayed. Their fingerprints are all new, but their
+	// loop shapes are not, so the measured run must be served entirely
+	// from stale-shape matches: a single "miss" outcome fails the run.
+	Relocate uint64
 }
 
 // maxOutstanding caps concurrently in-flight open-loop requests. An
@@ -66,7 +75,8 @@ type loadgenStats struct {
 	Dropped              int64 // open loop: arrivals past the outstanding cap
 	Offered              float64
 	Elapsed              time.Duration
-	Latency              peaks.Summary // per-request POST+GET milliseconds
+	Latency              peaks.Summary    // per-request POST+GET milliseconds
+	Outcomes             map[string]int64 // ingest outcome -> count (ok requests)
 }
 
 // DropRejectRate is the fraction of offered requests not served OK —
@@ -147,6 +157,25 @@ func runLoadgen(opt loadgenOptions, stdout io.Writer) (*loadgenStats, error) {
 			MaxIdleConnsPerHost: 2 * opt.Clients,
 		},
 		Timeout: 60 * time.Second,
+	}
+
+	if opt.Relocate != 0 {
+		// Stale-shape scenario: warm the cache with the originals, then
+		// replay a corpus whose every PC moved (same binary, new base).
+		fmt.Fprintf(stdout, "loadgen: warming cache, then relocating corpus PCs by +%#x\n",
+			opt.Relocate)
+		for i := range corpus {
+			if err := warmProfile(client, base, corpus[i]); err != nil {
+				return nil, fmt.Errorf("loadgen: warmup %s: %w", corpus[i].app, err)
+			}
+			reloc, err := relocateProfile(corpus[i].body, opt.Relocate)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: relocating %s: %w", corpus[i].app, err)
+			}
+			corpus[i] = corpusItem{
+				app: corpus[i].app, body: reloc, fp: wire.FingerprintBytes(reloc),
+			}
+		}
 	}
 
 	var (
@@ -312,7 +341,12 @@ func runLoadgen(opt loadgenOptions, stdout io.Writer) (*loadgenStats, error) {
 		Offered:  opt.Rate,
 		Elapsed:  elapsed,
 		Latency:  sum,
+		Outcomes: map[string]int64{},
 	}
+	outcomes.Range(func(k, v any) bool {
+		stats.Outcomes[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
 	if opt.Rate > 0 {
 		fmt.Fprintf(stdout, "open loop: offered %.1f req/s, achieved %.1f req/s, drop/reject rate %.2f%%\n",
 			opt.Rate, float64(stats.OK)/elapsed.Seconds(), 100*stats.DropRejectRate())
@@ -320,5 +354,61 @@ func runLoadgen(opt loadgenOptions, stdout io.Writer) (*loadgenStats, error) {
 	if firstErr != nil {
 		return stats, fmt.Errorf("%d request(s) failed hard; first: %w", failed.Load(), firstErr)
 	}
+	if opt.Relocate != 0 {
+		if n := stats.Outcomes["miss"] + stats.Outcomes["aggregated"]; n > 0 {
+			return stats, fmt.Errorf(
+				"loadgen: %d relocated profile(s) re-ran analysis; stale-shape matching "+
+					"should have served every one from the warmed cache", n)
+		}
+		fmt.Fprintf(stdout, "relocate: all %d relocated requests served without re-analysis\n",
+			stats.OK)
+	}
 	return stats, nil
+}
+
+// warmProfile ingests one original profile and waits for its plans, so
+// the relocated replay has a warm same-shape entry to match.
+func warmProfile(client *http.Client, base string, item corpusItem) error {
+	resp, err := client.Post(base+"/v1/profiles", "application/octet-stream",
+		bytes.NewReader(item.body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("ingest status %d", resp.StatusCode)
+	}
+	resp, err = client.Get(base + "/v1/plans/" + string(item.fp))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("plans status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// relocateProfile shifts every PC in a canonical profile frame — the
+// delinquent loads and both ends of every LBR entry — by delta,
+// re-canonicalizes, and re-encodes. The result models the same binary
+// loaded at a different base: new fingerprint, identical loop shape.
+func relocateProfile(body []byte, delta uint64) ([]byte, error) {
+	p, err := wire.DecodeProfile(body)
+	if err != nil {
+		return nil, err
+	}
+	for i := range p.Loads {
+		p.Loads[i].PC += delta
+	}
+	for i := range p.Samples {
+		for j := range p.Samples[i].Entries {
+			p.Samples[i].Entries[j].From += delta
+			p.Samples[i].Entries[j].To += delta
+		}
+	}
+	p.Canonicalize()
+	return wire.EncodeProfile(p), nil
 }

@@ -99,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	corpus := fs.String("corpus", "IS,BFS,HJ8", "comma-separated workload keys -loadgen replays")
 	rate := fs.Float64("rate", 0, "open-loop -loadgen: Poisson arrival rate in req/s (0 = closed loop)")
 	seed := fs.Int64("seed", 0, "open-loop arrival RNG seed (0 = 1)")
+	relocate := fs.Uint64("relocate", 0, "-loadgen: shift every profile PC by this constant after warming the cache with the originals (stale-shape matching must serve the relocated corpus with zero re-analyses)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -125,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Quick:    *quick,
 			Rate:     *rate,
 			Seed:     *seed,
+			Relocate: *relocate,
 		}, stdout)
 		if err != nil {
 			fmt.Fprintf(stderr, "aptbench: %v\n", err)

@@ -97,6 +97,7 @@ func Merge(profiles []*wire.Profile) (*wire.Profile, error) {
 				pcs = append(pcs, l.PC)
 			}
 			m.Samples += l.Samples
+			m.StallCycles += l.StallCycles
 			totalSamples += l.Samples
 		}
 		merged.Samples = append(merged.Samples, p.Samples...)

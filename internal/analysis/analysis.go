@@ -24,6 +24,7 @@ import (
 	"aptget/internal/lbr"
 	"aptget/internal/obs"
 	"aptget/internal/peaks"
+	"aptget/internal/pebs"
 	"aptget/internal/profile"
 )
 
@@ -128,6 +129,13 @@ type Plan struct {
 
 	AvgTrip float64 // average inner-loop trip count from LBR runs
 
+	// SelectionScore and MeanStall carry the 2-D delinquent-load
+	// selection provenance: the stall-cycles-per-kilo-instruction score
+	// the load was admitted with and its mean exposed latency per
+	// sampled miss (zero when the profile predates latency sampling).
+	SelectionScore float64
+	MeanStall      float64
+
 	Inner LoopTiming
 	Outer *LoopTiming // nil when the load's loop has no parent
 
@@ -147,6 +155,8 @@ func (p *Plan) Record(opt Options) obs.PlanRecord {
 		IC:                  p.Inner.IC,
 		MC:                  p.Inner.MC,
 		AvgTrip:             p.AvgTrip,
+		Score:               p.SelectionScore,
+		MeanStall:           p.MeanStall,
 		K:                   opt.K,
 		InnerDistance:       p.InnerDistance,
 		OuterDistance:       p.OuterDistance,
@@ -191,7 +201,7 @@ func Analyze(prog *ir.Program, prof *profile.Profile, opt Options) ([]Plan, erro
 			sp.Add("loads_outside_loops", 1)
 			continue
 		}
-		plan := planForLoad(f, forest, prof.Samples, dl.PC, v, loop, opt)
+		plan := planForLoad(f, forest, prof.Samples, dl, v, loop, opt)
 		plans = append(plans, plan)
 	}
 	sp.Set("delinquent_loads", int64(len(prof.Loads)))
@@ -217,21 +227,29 @@ func Analyze(prog *ir.Program, prof *profile.Profile, opt Options) ([]Plan, erro
 }
 
 func planForLoad(f *ir.Func, forest *ir.LoopForest, samples []lbr.Sample,
-	pc uint64, v ir.Value, loop *ir.Loop, opt Options) Plan {
+	dl pebs.Load, v ir.Value, loop *ir.Loop, opt Options) Plan {
 
 	plan := Plan{
-		LoadPC: pc, LoadName: f.Instr(v).Name, Load: v,
+		LoadPC: dl.PC, LoadName: f.Instr(v).Name, Load: v,
 		Site: SiteInner, Distance: 1, InnerDistance: 1,
+		SelectionScore: dl.Score, MeanStall: dl.MeanStall,
 	}
 
 	innerPCs := latchPCs(f, loop)
-	var outerPCs []uint64
+	var outerPCs, grandPCs []uint64
 	if loop.Parent != nil {
 		outerPCs = latchPCs(f, loop.Parent)
+		// When the parent loop is itself nested, its own iteration deltas
+		// must not span the *grandparent's* latch — the same breaker rule
+		// the inner measurement applies one level down.
+		if loop.Parent.Parent != nil {
+			grandPCs = latchPCs(f, loop.Parent.Parent)
+		}
 	}
 
 	plan.Inner = measureLoop(innerPCs, outerPCs, samples, opt)
-	runs := tripRuns(innerPCs, outerPCs, samples)
+	headerPC := f.Instrs[f.Blocks[loop.Header].Instrs[0]].PC
+	runs := tripRuns(innerPCs, outerPCs, headerPC, samples)
 	plan.AvgTrip = avgTrip(runs)
 
 	innerMeasurable := len(plan.Inner.Latencies) >= opt.MinSamples &&
@@ -246,7 +264,7 @@ func planForLoad(f *ir.Func, forest *ir.LoopForest, samples []lbr.Sample,
 		// the outer loop directly (§3.3).
 		if !opt.DisableOuter && loop.Parent != nil &&
 			loop.Parent.InductionPhi(f) != ir.NoValue {
-			outer := measureLoop(outerPCs, nil, samples, opt)
+			outer := measureLoop(outerPCs, grandPCs, samples, opt)
 			if len(outer.Latencies) >= opt.MinSamples && len(outer.Peaks) >= 2 {
 				plan.Outer = &outer
 				plan.OuterDistance = distanceFromTiming(outer, opt)
@@ -312,7 +330,7 @@ func planForLoad(f *ir.Func, forest *ir.LoopForest, samples []lbr.Sample,
 	// outer iteration time as trip × IC_inner (a baseline outer
 	// iteration contains the very stalls prefetching removes, so Eq. 1
 	// applied mechanically to the baseline peaks would over-prefetch).
-	outer := measureLoop(outerPCs, nil, samples, opt)
+	outer := measureLoop(outerPCs, grandPCs, samples, opt)
 	plan.Outer = &outer
 	outerIC := plan.AvgTrip * plan.Inner.IC
 	if outerIC < 1 {
@@ -470,7 +488,18 @@ func distanceFromTiming(t LoopTiming, opt Options) int64 {
 // tripRuns counts, per §3.1, how many inner-latch branches occur between
 // two occurrences of the outer latch in each LBR snapshot. Each complete
 // run of n back-edges corresponds to n+1 inner iterations.
-func tripRuns(inner, outer []uint64, samples []lbr.Sample) []int {
+//
+// headerPC is the inner header's first-instruction PC (the LBR target of
+// the loop's entry edge). A window with zero back-edges is ambiguous: a
+// single-trip invocation (the bottom-tested latch falls through, so no
+// entry is pushed) and a *skipped* invocation (ragged inputs — a CSR row
+// with no nonzeros never enters the loop) look identical by latch count
+// alone. Only windows whose invocation actually ran — a back-edge, or an
+// entry edge into headerPC from outside the loop — produce a run; skipped
+// windows produce none, so they cannot deflate the average trip count.
+// headerPC 0 disables entry detection (every window counts, the
+// pre-disambiguation behavior for callers without IR access).
+func tripRuns(inner, outer []uint64, headerPC uint64, samples []lbr.Sample) []int {
 	if len(outer) == 0 {
 		return nil
 	}
@@ -478,18 +507,26 @@ func tripRuns(inner, outer []uint64, samples []lbr.Sample) []int {
 	for _, s := range samples {
 		run := 0
 		inWindow := false // have we seen an outer latch yet?
+		entered := false  // did this window's invocation enter the loop?
 		for _, e := range s.Entries {
 			switch {
 			case contains(outer, e.From):
-				if inWindow {
+				if inWindow && (run > 0 || entered || headerPC == 0) {
 					runs = append(runs, run)
 				}
 				run = 0
+				entered = false
 				inWindow = true
 			case contains(inner, e.From):
 				if inWindow {
 					run++
 				}
+			case headerPC != 0 && e.To == headerPC:
+				// Entry edge: a taken branch into the inner header from
+				// outside the loop (back-edges were consumed by the case
+				// above). The invocation ran even if its only iteration
+				// took no back-edge.
+				entered = true
 			}
 		}
 	}

@@ -90,7 +90,7 @@ func TestTripRunsAndAvgTrip(t *testing.T) {
 		[2]uint64{inner, 50}, [2]uint64{inner, 60},
 		[2]uint64{outer, 70},
 	)
-	runs := tripRuns([]uint64{inner}, []uint64{outer}, []lbr.Sample{s})
+	runs := tripRuns([]uint64{inner}, []uint64{outer}, 0, []lbr.Sample{s})
 	if len(runs) != 2 || runs[0] != 3 || runs[1] != 2 {
 		t.Fatalf("runs = %v, want [3 2]", runs)
 	}
@@ -112,7 +112,7 @@ func TestTripRunsIgnoreLeadingPartialWindow(t *testing.T) {
 		[2]uint64{inner, 20},
 		[2]uint64{outer, 30},
 	)
-	runs := tripRuns([]uint64{inner}, []uint64{outer}, []lbr.Sample{s})
+	runs := tripRuns([]uint64{inner}, []uint64{outer}, 0, []lbr.Sample{s})
 	if len(runs) != 1 || runs[0] != 1 {
 		t.Fatalf("runs = %v, want [1]", runs)
 	}
@@ -339,7 +339,7 @@ func TestAnalyzeSyntheticFallbackUnimodal(t *testing.T) {
 	}
 	sampler := pebs.NewSampler(1)
 	for i := 0; i < 100; i++ {
-		sampler.ObserveMiss(loadPC)
+		sampler.ObserveMiss(loadPC, 220)
 	}
 	prof := &profile.Profile{Samples: samples, Loads: sampler.Delinquent(0)}
 	plans, err := Analyze(p, prof, Options{})
@@ -364,7 +364,7 @@ func TestAnalyzeSyntheticFallbackNoSamples(t *testing.T) {
 		}
 	}
 	sampler := pebs.NewSampler(1)
-	sampler.ObserveMiss(loadPC)
+	sampler.ObserveMiss(loadPC, 220)
 	prof := &profile.Profile{Loads: sampler.Delinquent(0)} // no LBR samples
 	plans, err := Analyze(p, prof, Options{})
 	if err != nil {
@@ -378,7 +378,7 @@ func TestAnalyzeSyntheticFallbackNoSamples(t *testing.T) {
 func TestAnalyzeRejectsNonLoadPC(t *testing.T) {
 	p, _, _ := buildIndirectNested(4, 4, 64, 0)
 	sampler := pebs.NewSampler(1)
-	sampler.ObserveMiss(0) // PC 0 is a const in the entry block
+	sampler.ObserveMiss(0, 220) // PC 0 is a const in the entry block
 	prof := &profile.Profile{Loads: sampler.Delinquent(0)}
 	if _, err := Analyze(p, prof, Options{}); err == nil {
 		t.Fatal("expected error for non-load delinquent PC")

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"testing"
+
+	"aptget/internal/ir"
+	"aptget/internal/lbr"
+	"aptget/internal/pebs"
+	"aptget/internal/profile"
+)
+
+// buildTripleNested builds a 3-deep nest:
+//
+//	for k in [0, outer): for i in [0, mid): for j in [0, inner): sum += T[B[i*inner+j]]
+//
+// The delinquent load is named "T" so tests can locate it without
+// pattern-matching the address chain.
+func buildTripleNested(outer, mid, inner, table int64) (*ir.Program, uint64) {
+	b := ir.NewBuilder("triple")
+	bArr := b.Alloc("B", mid*inner, 8)
+	tArr := b.Alloc("T", table, 8)
+	out := b.Alloc("out", 1, 8)
+	zero := b.Const(0)
+	b.Loop("k", zero, b.Const(outer), 1, func(k ir.Value) {
+		b.Loop("i", zero, b.Const(mid), 1, func(i ir.Value) {
+			base := b.Mul(i, b.Const(inner))
+			b.Loop("j", zero, b.Const(inner), 1, func(j ir.Value) {
+				idx := b.LoadElem(bArr, b.Add(base, j))
+				v := b.Named(b.LoadElem(tArr, idx), "T")
+				old := b.LoadElem(out, zero)
+				b.StoreElem(out, zero, b.Add(old, v))
+			})
+		})
+	})
+	p := b.Finish()
+	var loadPC uint64
+	f := p.Func
+	for vi := range f.Instrs {
+		if f.Instrs[vi].Op == ir.OpLoad && f.Instrs[vi].Name == "T" {
+			loadPC = f.Instrs[vi].PC
+		}
+	}
+	return p, loadPC
+}
+
+// TestOuterMeasureUsesGrandparentBreakers is the regression test for the
+// outer-loop measurement at planForLoad's inner-unimodal path: when the
+// delinquent load's *parent* loop is timed, deltas spanning the
+// *grandparent's* latch include grandparent-loop overhead and must be
+// discarded — exactly what measureLoop's breakers are for, and exactly
+// what passing nil breakers fails to do. Pre-fix, the 500-cycle
+// contaminated deltas leak into the parent-loop histogram (DroppedBreaker
+// stays 0 and the distance can be skewed); post-fix they are dropped.
+func TestOuterMeasureUsesGrandparentBreakers(t *testing.T) {
+	p, loadPC := buildTripleNested(8, 8, 8, 1<<16)
+	f := p.Func
+	if loadPC == 0 {
+		t.Fatal("could not locate load T")
+	}
+	forest := ir.AnalyzeLoops(f)
+	loop := forest.InnermostFor(f.BlockOf(loadPC).ID)
+	if loop == nil || loop.Parent == nil || loop.Parent.Parent == nil {
+		t.Fatal("expected a 3-deep nest")
+	}
+	midLatch := latchPCs(f, loop.Parent)[0]
+	gpLatch := latchPCs(f, loop.Parent.Parent)[0]
+
+	// Samples contain only parent (mid) and grandparent latches — the
+	// inner loop's latency is deliberately unmeasurable so planForLoad
+	// takes the "distance from outer loop distribution" path. Mid-loop
+	// iterations alternate 40 (all-hit) and 260 (DRAM) cycles; after
+	// every 8th mid latch the grandparent latch fires and the next mid
+	// latch lands 500 cycles after the previous one.
+	var samples []lbr.Sample
+	for sn := 0; sn < 8; sn++ {
+		var pairs [][2]uint64
+		cyc := uint64(1000)
+		add := func(from, delta uint64) {
+			cyc += delta
+			pairs = append(pairs, [2]uint64{from, cyc})
+		}
+		for g := 0; g < 2; g++ {
+			for it := 0; it < 4; it++ {
+				add(midLatch, 40)
+				add(midLatch, 260)
+			}
+			add(gpLatch, 30)
+			add(midLatch, 470) // 500 cycles since the last mid latch
+		}
+		for it := 0; it < 4; it++ {
+			add(midLatch, 40)
+			add(midLatch, 260)
+		}
+		samples = append(samples, mkSample(pairs...))
+	}
+
+	sampler := pebs.NewSampler(1)
+	for i := 0; i < 100; i++ {
+		sampler.ObserveMiss(loadPC, 220)
+	}
+	prof := &profile.Profile{Samples: samples, Loads: sampler.Delinquent(0)}
+	plans, err := Analyze(p, prof, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 1 {
+		t.Fatalf("want 1 plan, got %d", len(plans))
+	}
+	plan := plans[0]
+	if plan.Site != SiteOuter || plan.Outer == nil {
+		t.Fatalf("expected outer-distribution path, got site=%v fallback=%q",
+			plan.Site, plan.Fallback)
+	}
+	// Each sample has two grandparent-spanning deltas; all must be dropped.
+	if plan.Outer.DroppedBreaker != 16 {
+		t.Fatalf("grandparent-spanning deltas leaked into the parent-loop "+
+			"timing: DroppedBreaker = %d, want 16", plan.Outer.DroppedBreaker)
+	}
+	// IC 40, MC 220 → Equation (1) distance 6. The contaminated 500-cycle
+	// mode would stretch MC to 460 and double the distance.
+	if plan.OuterDistance != 6 {
+		t.Fatalf("outer distance = %d, want 6 (IC=%.0f MC=%.0f peaks=%v)",
+			plan.OuterDistance, plan.Outer.IC, plan.Outer.MC, plan.Outer.Peaks)
+	}
+}
+
+// TestAvgTripSkippedInnerInvocations is the regression test for ragged
+// trip counts (CSR rows with zero nonzeros): an outer iteration that
+// *skips* the inner loop entirely must not be counted as a 1-trip
+// invocation. The samples alternate entered invocations (7 back-edges →
+// trip 8, with the guard's entry edge into the inner header) and skipped
+// invocations (no entry edge, no back-edges). True mean trip over
+// entered invocations is 8; counting skips as trip 1 deflates it to 4.5.
+func TestAvgTripSkippedInnerInvocations(t *testing.T) {
+	p, loadPC := buildTripleNested(1, 16, 8, 1<<16)
+	f := p.Func
+	forest := ir.AnalyzeLoops(f)
+	loop := forest.InnermostFor(f.BlockOf(loadPC).ID)
+	innerLatch := latchPCs(f, loop)[0]
+	outerLatch := latchPCs(f, loop.Parent)[0]
+	headerPC := f.Instrs[f.Blocks[loop.Header].Instrs[0]].PC
+	const guardPC = 9999 // entry-edge source: the guard branch outside the loop
+
+	var samples []lbr.Sample
+	for sn := 0; sn < 4; sn++ {
+		var entries []lbr.Entry
+		cyc := uint64(100)
+		add := func(from, to, delta uint64) {
+			cyc += delta
+			entries = append(entries, lbr.Entry{From: from, To: to, Cycle: cyc})
+		}
+		add(outerLatch, 0, 10) // opens the first window
+		for w := 0; w < 4; w++ {
+			// Entered invocation: guard → header, then 7 back-edges.
+			add(guardPC, headerPC, 5)
+			for it := 0; it < 7; it++ {
+				add(innerLatch, headerPC, 20)
+			}
+			add(outerLatch, 0, 10)
+			// Skipped invocation: the guard falls through (not taken →
+			// no LBR entry); the outer latch fires again directly.
+			add(outerLatch, 0, 10)
+		}
+		samples = append(samples, lbr.Sample{Cycle: cyc, Entries: entries})
+	}
+
+	sampler := pebs.NewSampler(1)
+	for i := 0; i < 100; i++ {
+		sampler.ObserveMiss(loadPC, 220)
+	}
+	prof := &profile.Profile{Samples: samples, Loads: sampler.Delinquent(0)}
+	plans, err := Analyze(p, prof, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 1 {
+		t.Fatalf("want 1 plan, got %d", len(plans))
+	}
+	if got := plans[0].AvgTrip; got != 8 {
+		t.Fatalf("AvgTrip = %v, want 8 (skipped inner invocations must not "+
+			"count as trip 1)", got)
+	}
+}

@@ -428,8 +428,12 @@ func (s *State) Resume(stop uint64) (bool, error) {
 				cycle += r.Latency
 				regs[v] = h.Arena.Read(addr, ins.Size)
 				ctr.Loads++
-				if res.PEBS != nil && r.Served == mem.LevelDRAM {
-					res.PEBS.ObserveMiss(ins.PC)
+				if res.PEBS != nil && r.LLCMiss {
+					// Retired LLC-miss load: attribute the PC and the
+					// *exposed* stall — the full memory latency for a
+					// blocking miss, only the residual wait when the fill
+					// was already in flight (the PEBS latency field).
+					res.PEBS.ObserveMiss(ins.PC, r.Latency)
 				}
 
 			case ir.OpStore:

@@ -51,9 +51,10 @@ func buildAll() map[string]Runner {
 		"fig12":    wrap(Fig12),
 		"datasets": wrap(Datasets),
 		"fig6x":    wrap(Fig6x),
-		"ablation": wrap(Ablation),
-		"lbrwidth": wrap(LBRWidth),
-		"replan":   wrap(Replan),
+		"ablation":  wrap(Ablation),
+		"lbrwidth":  wrap(LBRWidth),
+		"replan":    wrap(Replan),
+		"selection": wrap(Selection),
 	}
 }
 

@@ -268,8 +268,8 @@ func TestForceDistanceAndSiteHelpers(t *testing.T) {
 
 func TestRunnersRegistered(t *testing.T) {
 	names := Names()
-	if len(names) != 17 {
-		t.Fatalf("want 17 experiments, got %d: %v", len(names), names)
+	if len(names) != 18 {
+		t.Fatalf("want 18 experiments, got %d: %v", len(names), names)
 	}
 	for _, id := range []string{"table1", "fig1", "fig6", "fig10", "fig12", "datasets", "replan"} {
 		if _, ok := All()[id]; !ok {

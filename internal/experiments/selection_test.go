@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelectionQuickShapes runs the quick selection sweep and asserts
+// the corpus's acceptance properties: the frontier is monotone per app
+// (a stricter gate never adds plans), the gate-off column plans every
+// candidate, and the LSM head-to-head contrast holds — the 2-D gate
+// keeps the expensive-rare probe and drops the cheap-frequent scan
+// while the MPKI-only ablation does the reverse. CI's selection-smoke
+// job runs exactly this test under -race.
+func TestSelectionQuickShapes(t *testing.T) {
+	res, err := Selection(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LSMContrastHolds() {
+		t.Fatalf("LSM gate contrast does not hold: %+v", res.Gates)
+	}
+
+	plans := map[string][]int{} // app -> plans per threshold, sweep order
+	for _, c := range res.Cells {
+		plans[c.App] = append(plans[c.App], c.Plans)
+	}
+	for _, app := range res.Apps {
+		p := plans[app]
+		if len(p) != len(res.Thresholds) {
+			t.Fatalf("%s: %d cells for %d thresholds", app, len(p), len(res.Thresholds))
+		}
+		for i := 1; i < len(p); i++ {
+			if p[i] > p[i-1] {
+				t.Fatalf("%s: raising the gate from %.0f to %.0f added plans (%d -> %d)",
+					app, res.Thresholds[i-1], res.Thresholds[i], p[i-1], p[i])
+			}
+		}
+	}
+	// The sweep must actually exercise the gate: LSM loses its cheap
+	// scan plan somewhere between gate-off and the strictest setting.
+	lsm := plans["LSM"]
+	if lsm[0] <= lsm[len(lsm)-1] {
+		t.Fatalf("LSM plan count should strictly drop across the sweep, got %v", lsm)
+	}
+
+	// The rendered report is what the smoke job greps; pin its verdict
+	// line.
+	if !strings.Contains(res.String(), "contrast holds (2-D keeps probe/drops scan; MPKI-only reversed): true") {
+		t.Fatalf("report does not state the contrast verdict:\n%s", res.String())
+	}
+}

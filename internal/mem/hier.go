@@ -33,6 +33,17 @@ type Result struct {
 	Served  Level  // who provided the data
 	FBHit   bool   // demand found the line in a fill buffer (in flight)
 	FBHitSW bool   // ...and the fill was initiated by a software prefetch (late prefetch)
+	// LLCMiss marks a demand load the PEBS LLC-miss event attributes: a
+	// blocking miss served by DRAM, or a fill-buffer hit on an in-flight
+	// DRAM fill that a *demand or software prefetch* started (a late
+	// prefetch — the load still exposes the residual wait, an order of
+	// magnitude less than the full latency, which is exactly the signal
+	// 2-D delinquent-load selection needs). Fill-buffer hits on
+	// *hardware-prefetch* fills are excluded: on real hardware those
+	// retire as MEM_LOAD_RETIRED.FB_HIT, not L3_MISS, which is why
+	// streams the hardware prefetcher already covers never surface in an
+	// L3-miss profile (the paper's hw-covered inputs are not selected).
+	LLCMiss bool
 }
 
 // mshrEntry is one in-flight fill (line fill buffer / miss status holding
@@ -44,6 +55,7 @@ type mshrEntry struct {
 	hw    bool   // fill initiated by hardware prefetch
 	toL1  bool   // install into L1 on completion (SW prefetch / demand); HW prefetch fills stop at L2
 	used  bool
+	dram  bool // fill sourced from DRAM (vs an L2→L1 promotion): a demand hit on it is an LLC miss
 }
 
 // Stats aggregates the PMU-visible memory counters. Counter names follow
@@ -276,6 +288,7 @@ func (h *Hierarchy) Access(now uint64, pc uint64, addr int64, kind Kind) Result 
 			Served:  LevelFB,
 			FBHit:   true,
 			FBHitSW: e.sw,
+			LLCMiss: e.dram && !e.hw,
 		}
 		h.Stats.Hits[LevelFB]++
 		h.Stats.FBHitAny++
@@ -302,7 +315,7 @@ func (h *Hierarchy) Access(now uint64, pc uint64, addr int64, kind Kind) Result 
 	if served == LevelDRAM && h.Cfg.NextLinePrefetcher {
 		h.nextLine(now, line)
 	}
-	return Result{Latency: lat, Served: served}
+	return Result{Latency: lat, Served: served, LLCMiss: served == LevelDRAM}
 }
 
 func (h *Hierarchy) removeMSHR(line int64) {
@@ -356,6 +369,7 @@ func (h *Hierarchy) prefetch(now uint64, line int64, kind Kind) Result {
 		line: line, ready: done,
 		sw: sw, hw: !sw,
 		toL1: sw, // SW prefetch targets L1 (prefetcht0); HW fills stop at L2
+		dram: served == LevelDRAM,
 	})
 	return Result{Latency: 1, Served: served}
 }

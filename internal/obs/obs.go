@@ -86,6 +86,12 @@ type PlanRecord struct {
 	AvgTrip float64 `json:"avg_trip"`
 	K       int64   `json:"k"`
 
+	// 2-D selection provenance: the stall-cycles-per-kilo-instruction
+	// score the load was admitted with and its mean exposed latency per
+	// sampled miss (zero for profiles without latency sampling).
+	Score     float64 `json:"selection_score,omitempty"`
+	MeanStall float64 `json:"mean_stall,omitempty"`
+
 	InnerDistance int64 `json:"inner_distance"`
 	OuterDistance int64 `json:"outer_distance,omitempty"`
 

@@ -1,6 +1,11 @@
 // Package pebs models precise event-based sampling of last-level-cache
 // misses: the mechanism APT-GET uses (via perf record, §3.4) to identify
-// delinquent loads — the load PCs responsible for most LLC misses.
+// delinquent loads — the load PCs responsible for most LLC misses. Each
+// sample also carries the load's *exposed* stall cycles (the PEBS
+// latency field on real hardware): a miss whose fill was already in
+// flight when the load retired exposes only the residual wait, so the
+// same miss count can mean very different stall costs — the second
+// dimension the 2-D selection gate ranks on.
 package pebs
 
 import "sort"
@@ -11,9 +16,10 @@ import "sort"
 type Sampler struct {
 	Period uint64
 
-	seen  uint64
-	byPC  map[uint64]uint64
-	total uint64
+	seen      uint64
+	byPC      map[uint64]uint64
+	stallByPC map[uint64]uint64 // summed exposed stall cycles of sampled misses
+	total     uint64
 }
 
 // NewSampler returns a sampler with the given period (≥1).
@@ -21,17 +27,25 @@ func NewSampler(period uint64) *Sampler {
 	if period == 0 {
 		period = 1
 	}
-	return &Sampler{Period: period, byPC: make(map[uint64]uint64)}
+	return &Sampler{
+		Period:    period,
+		byPC:      make(map[uint64]uint64),
+		stallByPC: make(map[uint64]uint64),
+	}
 }
 
-// ObserveMiss is called by the core for every retired demand load served
-// by DRAM (an LLC miss).
-func (s *Sampler) ObserveMiss(pc uint64) {
+// ObserveMiss is called by the core for every retired demand load whose
+// data came from DRAM — fully exposed misses and fill-buffer hits on
+// in-flight DRAM fills alike. stall is the exposed stall in cycles: the
+// whole memory latency for a blocking miss, only the residual wait when
+// the fill was already in flight.
+func (s *Sampler) ObserveMiss(pc, stall uint64) {
 	s.seen++
 	if s.seen%s.Period != 0 {
 		return
 	}
 	s.byPC[pc]++
+	s.stallByPC[pc] += stall
 	s.total++
 }
 
@@ -49,11 +63,28 @@ func (s *Sampler) Counts() map[uint64]uint64 {
 	return out
 }
 
+// Stalls returns a copy of the per-PC summed exposed stall cycles, the
+// latency counterpart of Counts (same snapshot-and-subtract use).
+func (s *Sampler) Stalls() map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(s.stallByPC))
+	for pc, n := range s.stallByPC {
+		out[pc] = n
+	}
+	return out
+}
+
 // Load is a delinquent-load candidate.
 type Load struct {
-	PC      uint64
-	Samples uint64
-	Share   float64 // fraction of all samples
+	PC          uint64
+	Samples     uint64
+	Share       float64 // fraction of all samples
+	StallCycles uint64  // summed exposed stall cycles across this PC's samples
+	MeanStall   float64 // StallCycles / Samples: mean exposed latency per sampled miss
+	// Score is the 2-D selection score — estimated stall cycles per
+	// kilo-instruction (miss rate × mean exposed latency). It needs the
+	// run's instruction count, so the profiling stage fills it; the
+	// sampler leaves it zero.
+	Score float64
 }
 
 // Delinquent returns the load PCs whose sample share is at least
@@ -67,7 +98,12 @@ func (s *Sampler) Delinquent(minShare float64) []Load {
 	for pc, n := range s.byPC {
 		share := float64(n) / float64(s.total)
 		if share >= minShare {
-			out = append(out, Load{PC: pc, Samples: n, Share: share})
+			stall := s.stallByPC[pc]
+			out = append(out, Load{
+				PC: pc, Samples: n, Share: share,
+				StallCycles: stall,
+				MeanStall:   float64(stall) / float64(n),
+			})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -79,8 +115,26 @@ func (s *Sampler) Delinquent(minShare float64) []Load {
 	return out
 }
 
+// SortByScore orders loads highest selection score first. Equal scores
+// (common when two PCs have identical sample counts and stall sums, and
+// inevitable when scores are all zero) tie-break on Samples descending
+// and then PC ascending, so the ranking — and every plan derived from
+// it — is deterministic regardless of map iteration order.
+func SortByScore(loads []Load) {
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].Score != loads[j].Score {
+			return loads[i].Score > loads[j].Score
+		}
+		if loads[i].Samples != loads[j].Samples {
+			return loads[i].Samples > loads[j].Samples
+		}
+		return loads[i].PC < loads[j].PC
+	})
+}
+
 // Reset clears all recorded samples.
 func (s *Sampler) Reset() {
 	s.seen, s.total = 0, 0
 	s.byPC = make(map[uint64]uint64)
+	s.stallByPC = make(map[uint64]uint64)
 }

@@ -5,13 +5,13 @@ import "testing"
 func TestDelinquentRanking(t *testing.T) {
 	s := NewSampler(1)
 	for i := 0; i < 70; i++ {
-		s.ObserveMiss(100)
+		s.ObserveMiss(100, 220)
 	}
 	for i := 0; i < 25; i++ {
-		s.ObserveMiss(200)
+		s.ObserveMiss(200, 220)
 	}
 	for i := 0; i < 5; i++ {
-		s.ObserveMiss(300)
+		s.ObserveMiss(300, 220)
 	}
 	del := s.Delinquent(0.1)
 	if len(del) != 2 {
@@ -25,10 +25,33 @@ func TestDelinquentRanking(t *testing.T) {
 	}
 }
 
+func TestStallAccumulation(t *testing.T) {
+	s := NewSampler(1)
+	s.ObserveMiss(100, 220) // fully exposed miss
+	s.ObserveMiss(100, 20)  // fill-buffer hit: residual wait only
+	s.ObserveMiss(200, 240)
+	del := s.Delinquent(0)
+	if del[0].PC != 100 || del[0].StallCycles != 240 || del[0].MeanStall != 120 {
+		t.Fatalf("PC 100 stall accounting wrong: %+v", del[0])
+	}
+	if del[1].PC != 200 || del[1].StallCycles != 240 || del[1].MeanStall != 240 {
+		t.Fatalf("PC 200 stall accounting wrong: %+v", del[1])
+	}
+	st := s.Stalls()
+	if st[100] != 240 || st[200] != 240 {
+		t.Fatalf("Stalls snapshot wrong: %v", st)
+	}
+	// The snapshot is a copy: mutating it must not touch the sampler.
+	st[100] = 0
+	if s.Stalls()[100] != 240 {
+		t.Fatal("Stalls must return a copy")
+	}
+}
+
 func TestPeriodSubsamples(t *testing.T) {
 	s := NewSampler(10)
 	for i := 0; i < 100; i++ {
-		s.ObserveMiss(42)
+		s.ObserveMiss(42, 220)
 	}
 	if s.Samples() != 10 {
 		t.Fatalf("period 10 over 100 misses should record 10, got %d", s.Samples())
@@ -44,16 +67,16 @@ func TestEmptySampler(t *testing.T) {
 
 func TestResetClears(t *testing.T) {
 	s := NewSampler(1)
-	s.ObserveMiss(7)
+	s.ObserveMiss(7, 220)
 	s.Reset()
-	if s.Samples() != 0 || len(s.Delinquent(0)) != 0 {
-		t.Fatal("reset should clear samples")
+	if s.Samples() != 0 || len(s.Delinquent(0)) != 0 || len(s.Stalls()) != 0 {
+		t.Fatal("reset should clear samples and stalls")
 	}
 }
 
 func TestZeroPeriodDefaultsToOne(t *testing.T) {
 	s := NewSampler(0)
-	s.ObserveMiss(1)
+	s.ObserveMiss(1, 220)
 	if s.Samples() != 1 {
 		t.Fatal("period 0 should behave as 1")
 	}
@@ -61,10 +84,27 @@ func TestZeroPeriodDefaultsToOne(t *testing.T) {
 
 func TestDeterministicTieBreak(t *testing.T) {
 	s := NewSampler(1)
-	s.ObserveMiss(9)
-	s.ObserveMiss(3)
+	s.ObserveMiss(9, 220)
+	s.ObserveMiss(3, 220)
 	del := s.Delinquent(0)
 	if del[0].PC != 3 || del[1].PC != 9 {
 		t.Fatalf("ties must break by PC: %+v", del)
+	}
+}
+
+func TestSortByScoreTieBreak(t *testing.T) {
+	// Equal scores: Samples desc then PC asc; equal everything: PC asc.
+	loads := []Load{
+		{PC: 50, Samples: 3, Score: 10},
+		{PC: 10, Samples: 3, Score: 10},
+		{PC: 40, Samples: 7, Score: 10},
+		{PC: 20, Samples: 1, Score: 99},
+	}
+	SortByScore(loads)
+	want := []uint64{20, 40, 10, 50}
+	for i, pc := range want {
+		if loads[i].PC != pc {
+			t.Fatalf("rank %d: want PC %d, got %+v", i, pc, loads)
+		}
 	}
 }

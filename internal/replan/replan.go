@@ -147,6 +147,7 @@ type windowSnap struct {
 	fbHitSW uint64
 	samples int
 	pebs    map[uint64]uint64
+	stalls  map[uint64]uint64
 }
 
 func snap(cp cpu.Checkpoint, sampler *pebs.Sampler) windowSnap {
@@ -158,6 +159,7 @@ func snap(cp cpu.Checkpoint, sampler *pebs.Sampler) windowSnap {
 		fbHitSW: cp.Counters.Mem.FBHitSWPrefetch,
 		samples: cp.LBRSamples,
 		pebs:    sampler.Counts(),
+		stalls:  sampler.Stalls(),
 	}
 }
 
@@ -344,9 +346,11 @@ func Run(w core.Workload, initial []analysis.Plan, cfg core.Config, opt Options)
 }
 
 // windowProfile packages the trailing windows' live samples as a
-// profile: LBR snapshots taken since the base checkpoint, PEBS miss
-// attribution as the count delta, and the same delinquent-share + MPKI
-// gating the offline profiling stage applies.
+// profile: LBR snapshots taken since the base checkpoint, PEBS miss and
+// stall attribution as count deltas, and then the *same* selection gate
+// the offline profiling stage applies — share floor here, score (or
+// MPKI-ablation) gate via profile.SelectLoads, so online re-planning
+// cannot drift from the offline selection policy.
 func windowProfile(st *cpu.State, base, cur windowSnap, popt profile.Options, opt Options) *profile.Profile {
 	all := st.Result().LBRSamples
 	var samples []lbr.Sample
@@ -367,10 +371,6 @@ func windowProfile(st *cpu.State, base, cur windowSnap, popt profile.Options, op
 	if minShare == 0 {
 		minShare = 0.02
 	}
-	minMPKI := popt.MinLoadMPKI
-	if minMPKI == 0 {
-		minMPKI = 0.5
-	}
 	dInstr := cur.instr - base.instr
 
 	var loads []pebs.Load
@@ -379,35 +379,23 @@ func windowProfile(st *cpu.State, base, cur windowSnap, popt profile.Options, op
 		if share < minShare {
 			continue
 		}
-		if dInstr > 0 {
-			mpki := float64(n) * float64(opt.PEBSPeriod) / (float64(dInstr) / 1000)
-			if mpki < minMPKI {
-				continue
-			}
-		}
-		loads = append(loads, pebs.Load{PC: pc, Samples: n, Share: share})
+		stall := cur.stalls[pc] - base.stalls[pc]
+		loads = append(loads, pebs.Load{
+			PC: pc, Samples: n, Share: share,
+			StallCycles: stall,
+			MeanStall:   float64(stall) / float64(n),
+		})
 	}
-	sortLoads(loads)
+	// The live sampler's period, not the offline default, scales the
+	// per-window estimates.
+	popt.PEBSPeriod = opt.PEBSPeriod
+	loads = profile.SelectLoads(loads, dInstr, popt)
 
 	ctr := pmu.Counters{
 		Instructions: dInstr,
 		Cycles:       cur.cycle - base.cycle,
 	}
 	return &profile.Profile{Samples: samples, Loads: loads, Counters: ctr}
-}
-
-// sortLoads orders most-delinquent first (samples desc, PC asc), the
-// pebs.Delinquent order the analysis expects.
-func sortLoads(loads []pebs.Load) {
-	for i := 1; i < len(loads); i++ {
-		for j := i; j > 0; j-- {
-			a, b := &loads[j-1], &loads[j]
-			if a.Samples > b.Samples || (a.Samples == b.Samples && a.PC < b.PC) {
-				break
-			}
-			*a, *b = *b, *a
-		}
-	}
 }
 
 // plansMC returns the largest planned memory-component latency among the

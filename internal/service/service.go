@@ -42,6 +42,7 @@ import (
 	"aptget/internal/mem"
 	"aptget/internal/obs"
 	"aptget/internal/planstore"
+	"aptget/internal/profile"
 	"aptget/internal/wire"
 	"aptget/internal/workloads"
 )
@@ -509,7 +510,14 @@ func (s *Server) computePlans(p *wire.Profile) ([]byte, error) {
 	sp := obs.Begin("aptgetd/"+p.App, obs.StageAnalysis)
 	aopt := s.cfg.Pipeline.Analysis
 	aopt.Obs = sp
-	plans, err := analysis.Analyze(prog, p.ToProfile(), aopt)
+	prof := p.ToProfile()
+	// Re-run the shared selection gate on the decoded loads: scores are
+	// derived (stall × period / kilo-instruction), not wire fields, so
+	// the server recomputes them — idempotent for a client-gated profile,
+	// and the only correct way to score an *aggregated* profile, whose
+	// stall and instruction sums only exist after the merge.
+	prof.Loads = profile.SelectLoads(prof.Loads, prof.Counters.Instructions, s.cfg.Pipeline.Profile)
+	plans, err := analysis.Analyze(prog, prof, aopt)
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("service: analyzing %s: %w", p.App, err)

@@ -58,7 +58,7 @@ func profileSize(p *Profile) int {
 	n += uvarintLen(p.Cycles) + uvarintLen(p.Instructions)
 	n += uvarintLen(uint64(len(p.Loads)))
 	for _, l := range p.Loads {
-		n += uvarintLen(l.PC) + uvarintLen(l.Samples) + 8
+		n += uvarintLen(l.PC) + uvarintLen(l.Samples) + uvarintLen(l.StallCycles) + 8
 	}
 	n += uvarintLen(uint64(len(p.Samples)))
 	for _, s := range p.Samples {
@@ -111,6 +111,7 @@ func EncodeProfile(p *Profile) []byte {
 	for _, l := range cp.Loads {
 		w.uint(l.PC)
 		w.uint(l.Samples)
+		w.uint(l.StallCycles)
 		w.f64(l.Share)
 	}
 	w.uint(uint64(len(cp.Samples)))
@@ -160,6 +161,8 @@ func EncodePlanSet(ps *PlanSet) []byte {
 		w.int(p.LatencySamples)
 		w.int(p.DroppedNonMonotonic)
 		w.str(p.Fallback)
+		w.f64(p.Score)
+		w.f64(p.MeanStall)
 	}
 	return w.buf
 }

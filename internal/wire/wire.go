@@ -35,8 +35,17 @@ import (
 )
 
 // Version is the current wire-format version. Decoders reject frames
-// with a different version rather than guessing at field layouts.
-const Version = 1
+// with an unknown version rather than guessing at field layouts; the
+// legacy version below is still accepted for reads.
+//
+// Version 2 added the per-load exposed-stall dimension: Load carries
+// StallCycles and Plan carries the 2-D selection provenance (Score,
+// MeanStall). Version-1 frames decode with those fields zero — the
+// profile predates latency sampling — and re-encode as version 2.
+const Version = 2
+
+// LegacyVersion is the oldest frame version decoders still accept.
+const LegacyVersion = 1
 
 // Frame kinds (the byte after the header's version).
 const (
@@ -45,10 +54,13 @@ const (
 )
 
 // Load mirrors pebs.Load on the wire: one delinquent-load candidate.
+// StallCycles is the summed exposed stall of the PC's sampled misses
+// (zero in legacy version-1 frames).
 type Load struct {
-	PC      uint64
-	Samples uint64
-	Share   float64
+	PC          uint64
+	Samples     uint64
+	StallCycles uint64
+	Share       float64
 }
 
 // LoopShape is one loop of the profiled binary with every PC stripped:
@@ -98,6 +110,10 @@ type Plan struct {
 	LatencySamples      int64
 	DroppedNonMonotonic int64
 	Fallback            string
+
+	// 2-D selection provenance (version 2; zero in legacy frames).
+	Score     float64
+	MeanStall float64
 }
 
 // PlanSet is the serving payload for one profile: the plans in analysis
@@ -179,7 +195,9 @@ func ProfileOf(app string, prog *ir.Program, prof *profile.Profile) *Profile {
 		Instructions: prof.Counters.Instructions,
 	}
 	for _, l := range prof.Loads {
-		p.Loads = append(p.Loads, Load{PC: l.PC, Samples: l.Samples, Share: l.Share})
+		p.Loads = append(p.Loads, Load{
+			PC: l.PC, Samples: l.Samples, StallCycles: l.StallCycles, Share: l.Share,
+		})
 	}
 	p.Samples = append(p.Samples, prof.Samples...)
 	p.Loops = LoopShapes(prog.Func)
@@ -220,7 +238,14 @@ func (p *Profile) ToProfile() *profile.Profile {
 		Counters: pmu.Counters{Cycles: p.Cycles, Instructions: p.Instructions},
 	}
 	for _, l := range p.Loads {
-		out.Loads = append(out.Loads, pebs.Load{PC: l.PC, Samples: l.Samples, Share: l.Share})
+		pl := pebs.Load{
+			PC: l.PC, Samples: l.Samples, Share: l.Share,
+			StallCycles: l.StallCycles,
+		}
+		if l.Samples > 0 {
+			pl.MeanStall = float64(l.StallCycles) / float64(l.Samples)
+		}
+		out.Loads = append(out.Loads, pl)
 	}
 	out.Samples = append(out.Samples, p.Samples...)
 	return out
@@ -244,6 +269,8 @@ func PlanFromRecord(rec obs.PlanRecord) Plan {
 		LatencySamples:      int64(rec.LatencySamples),
 		DroppedNonMonotonic: int64(rec.DroppedNonMonotonic),
 		Fallback:            rec.Fallback,
+		Score:               rec.Score,
+		MeanStall:           rec.MeanStall,
 	}
 }
 

@@ -1,0 +1,220 @@
+package workloads
+
+import (
+	"testing"
+
+	"aptget/internal/core"
+	"aptget/internal/ir"
+	"aptget/internal/mem"
+	"aptget/internal/pebs"
+	"aptget/internal/profile"
+)
+
+// TestAdversarialBaselinesVerify executes every adversarial kernel
+// unmodified and checks its result against the native reference.
+func TestAdversarialBaselinesVerify(t *testing.T) {
+	for _, e := range AdversarialRegistry() {
+		e := e
+		t.Run(e.Key, func(t *testing.T) {
+			if e.Description == "" {
+				t.Fatal("missing description")
+			}
+			w := e.New()
+			res, err := core.RunBaseline(w, core.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Counters.Instructions == 0 {
+				t.Fatal("no instructions retired")
+			}
+			if w.Name() != e.Key {
+				t.Fatalf("workload name %q != registry key %q", w.Name(), e.Key)
+			}
+		})
+	}
+}
+
+// rawAdversarialProfile profiles one adversarial kernel with a dense
+// PEBS period and the score gate disabled, so tests see every
+// candidate.
+func rawAdversarialProfile(t *testing.T, key string) *profile.Profile {
+	t.Helper()
+	e, ok := ByKey(key)
+	if !ok {
+		t.Fatalf("missing registry entry %s", key)
+	}
+	w := e.New()
+	p, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := profile.Options{SamplePeriod: 20_000, PEBSPeriod: 7, MinLoadSCKPI: -1}
+	prof, err := profile.Collect(p, mem.ConfigScaled(), w.InitMem, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+// TestLSMSelectionContrast is the corpus's acceptance scenario: on the
+// LSM scan kernel the 1-D MPKI gate keeps the cheap-frequent scan load
+// and drops the expensive-rare probe, while the default 2-D gate does
+// exactly the opposite.
+func TestLSMSelectionContrast(t *testing.T) {
+	e, _ := ByKey("LSM")
+	w := e.New().(*LSMScan)
+	p, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scanPC, probePC uint64
+	for vi := range p.Func.Instrs {
+		switch p.Func.Instrs[vi].Name {
+		case "scan":
+			scanPC = p.Func.Instrs[vi].PC
+		case "probe":
+			probePC = p.Func.Instrs[vi].PC
+		}
+	}
+	if scanPC == 0 || probePC == 0 {
+		t.Fatal("could not locate the scan/probe loads")
+	}
+
+	opt := profile.Options{SamplePeriod: 20_000, PEBSPeriod: 7, MinLoadSCKPI: -1}
+	prof, err := profile.Collect(p, mem.ConfigScaled(), w.InitMem, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range prof.Loads {
+		t.Logf("pc=%d samples=%d meanStall=%.1f score=%.1f", l.PC, l.Samples, l.MeanStall, l.Score)
+	}
+	run := func(o profile.Options) map[uint64]bool {
+		cand := append([]pebs.Load(nil), prof.Loads...)
+		got := map[uint64]bool{}
+		for _, l := range profile.SelectLoads(cand, prof.Counters.Instructions, o) {
+			got[l.PC] = true
+		}
+		return got
+	}
+
+	// Default 2-D gate: keep the expensive probe, drop the cheap scan.
+	twoD := run(profile.Options{PEBSPeriod: 7})
+	if !twoD[probePC] {
+		t.Fatal("2-D gate dropped the expensive probe load")
+	}
+	if twoD[scanPC] {
+		t.Fatal("2-D gate kept the cheap-frequent scan load")
+	}
+
+	// 1-D ablation: keep the frequent scan, drop the rare probe.
+	oneD := run(profile.Options{PEBSPeriod: 7, MPKIOnly: true})
+	if !oneD[scanPC] {
+		t.Fatal("MPKI-only gate dropped the frequent scan load")
+	}
+	if oneD[probePC] {
+		t.Fatal("MPKI-only gate kept the rare probe load")
+	}
+}
+
+// TestBTreeKeptByBothGates pins the corpus's control: the pointer chase
+// is frequent AND expensive, so neither gate may drop it.
+func TestBTreeKeptByBothGates(t *testing.T) {
+	prof := rawAdversarialProfile(t, "BTree")
+	for _, o := range []profile.Options{{PEBSPeriod: 7}, {PEBSPeriod: 7, MPKIOnly: true}} {
+		cand := append([]pebs.Load(nil), prof.Loads...)
+		sel := profile.SelectLoads(cand, prof.Counters.Instructions, o)
+		if len(sel) != 1 {
+			t.Fatalf("MPKIOnly=%v: want the walk load kept, got %d loads", o.MPKIOnly, len(sel))
+		}
+	}
+}
+
+// TestInterleaveSeparatesTenants checks that a multi-tenant profile
+// carries delinquent loads from more than one tenant (the combinator
+// actually interleaves, rather than letting one tenant swamp the share
+// gate) and that the cheap scan stream still scores far below the
+// expensive walks inside the combined profile.
+func TestInterleaveSeparatesTenants(t *testing.T) {
+	prof := rawAdversarialProfile(t, "MTI")
+	e, _ := ByKey("MTI")
+	p, err := e.New().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := func(pc uint64) string {
+		for vi := range p.Func.Instrs {
+			if p.Func.Instrs[vi].PC == pc {
+				return p.Func.Instrs[vi].Name
+			}
+		}
+		return ""
+	}
+	var maxScan, minWalk float64
+	minWalk = 1e18
+	tenants := map[string]bool{}
+	for _, l := range prof.Loads {
+		n := name(l.PC)
+		tenants[n] = true
+		switch n {
+		case "scan":
+			if l.Score > maxScan {
+				maxScan = l.Score
+			}
+		case "walk":
+			if l.Score < minWalk {
+				minWalk = l.Score
+			}
+		}
+	}
+	if !tenants["T[B[i]]"] || !tenants["walk"] || !tenants["scan"] {
+		t.Fatalf("expected delinquent loads from all three tenants, got %v", tenants)
+	}
+	if maxScan >= minWalk {
+		t.Fatalf("cheap scan (%.1f) must score below expensive walk (%.1f) in the "+
+			"combined profile", maxScan, minWalk)
+	}
+}
+
+// legacyMicroBuild reproduces the pre-Kernel Micro emission verbatim:
+// one two-level nest built directly against a fresh builder.
+func legacyMicroBuild(m *Micro) *ir.Program {
+	b := ir.NewBuilder(m.Name())
+	bArr := b.Alloc("B", m.Outer*m.Inner, 8)
+	tArr := b.Alloc("T", m.TableSize, 8)
+	out := b.Alloc("out", 1, 8)
+	zero := b.Const(0)
+	b.Loop("i", zero, b.Const(m.Outer), 1, func(i ir.Value) {
+		base := b.Mul(i, b.Const(m.Inner))
+		b.Loop("j", zero, b.Const(m.Inner), 1, func(j ir.Value) {
+			idx := b.LoadElem(bArr, b.Add(base, j))
+			v := b.Named(b.LoadElem(tArr, idx), "T[B[i]]")
+			acc := work(b, v, int(m.Work))
+			old := b.LoadElem(out, zero)
+			b.StoreElem(out, zero, b.Add(old, acc))
+		})
+	})
+	return b.Finish()
+}
+
+// TestMicroKernelRefactorIRIdentical pins the Micro Build refactor: the
+// standalone program (AllocIn + one round) must emit the same
+// instruction sequence the pre-Kernel builder produced, so existing
+// profiles and plans keep matching by PC.
+func TestMicroKernelRefactorIRIdentical(t *testing.T) {
+	m := NewMicro(8, ComplexityMedium)
+	got, err := m.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := legacyMicroBuild(NewMicro(8, ComplexityMedium))
+	if len(got.Func.Instrs) != len(want.Func.Instrs) {
+		t.Fatalf("instruction count differs: %d vs %d",
+			len(got.Func.Instrs), len(want.Func.Instrs))
+	}
+	for i := range got.Func.Instrs {
+		g, w := got.Func.Instrs[i], want.Func.Instrs[i]
+		if g.Op != w.Op || g.PC != w.PC || g.Imm != w.Imm || g.Name != w.Name {
+			t.Fatalf("instr %d differs: %+v vs %+v", i, g, w)
+		}
+	}
+}

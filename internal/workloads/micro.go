@@ -63,14 +63,30 @@ func (m *Micro) Name() string {
 	return "micro"
 }
 
-// Build implements core.Workload.
+// Build implements core.Workload. A standalone build is exactly one
+// round of the embeddable kernel, so the IR (and hence every PC) is
+// identical to the pre-Kernel single-nest emission.
 func (m *Micro) Build() (*ir.Program, error) {
 	b := ir.NewBuilder(m.Name())
+	m.AllocIn(b)
+	m.EmitRound(b, 0, 1)
+	return b.Finish(), nil
+}
+
+// AllocIn implements Kernel: reserve the arrays in a shared builder.
+func (m *Micro) AllocIn(b *ir.Builder) {
 	m.bArr = b.Alloc("B", m.Outer*m.Inner, 8)
 	m.tArr = b.Alloc("T", m.TableSize, 8)
 	m.out = b.Alloc("out", 1, 8)
+}
+
+// EmitRound implements Kernel: emit the outer iterations of one
+// round-robin chunk. Rounds partition [0, Outer), so concatenating all
+// rounds reproduces the standalone kernel's work exactly.
+func (m *Micro) EmitRound(b *ir.Builder, round, rounds int64) {
+	lo, hi := chunk(m.Outer, round, rounds)
 	zero := b.Const(0)
-	b.Loop("i", zero, b.Const(m.Outer), 1, func(i ir.Value) {
+	b.Loop("i", b.Const(lo), b.Const(hi), 1, func(i ir.Value) {
 		base := b.Mul(i, b.Const(m.Inner))
 		b.Loop("j", zero, b.Const(m.Inner), 1, func(j ir.Value) {
 			idx := b.LoadElem(m.bArr, b.Add(base, j))
@@ -80,7 +96,6 @@ func (m *Micro) Build() (*ir.Program, error) {
 			b.StoreElem(m.out, zero, b.Add(old, acc))
 		})
 	})
-	return b.Finish(), nil
 }
 
 // work emits the dependent ALU chain of the work function; the native

@@ -98,7 +98,8 @@ func Registry() []Entry {
 }
 
 // ByKey returns the registry entry with the given key, searching the
-// Table 3 corpus and the phase-changing corpus (PhasedRegistry).
+// Table 3 corpus, the phase-changing corpus (PhasedRegistry), and the
+// selection-adversarial corpus (AdversarialRegistry).
 func ByKey(key string) (Entry, bool) {
 	for _, e := range Registry() {
 		if e.Key == key {
@@ -106,6 +107,11 @@ func ByKey(key string) (Entry, bool) {
 		}
 	}
 	for _, e := range PhasedRegistry() {
+		if e.Key == key {
+			return e, true
+		}
+	}
+	for _, e := range AdversarialRegistry() {
 		if e.Key == key {
 			return e, true
 		}
