@@ -43,6 +43,7 @@ type SubstrateMetrics struct {
 // BenchReport is the schema of BENCH_substrate.json.
 type BenchReport struct {
 	GeneratedAt  string             `json:"generated_at"`
+	GitCommit    string             `json:"git_commit"`
 	GoVersion    string             `json:"go_version"`
 	GoMaxProcs   int                `json:"gomaxprocs"`
 	Workers      int                `json:"workers"`
@@ -59,6 +60,7 @@ func runBench(quick bool, outPath string) error {
 	opt := experiments.Options{Quick: quick}
 	report := BenchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GitCommit:   gitCommit(),
 		GoVersion:   runtime.Version(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Workers:     runner.Workers(1 << 30),

@@ -1,0 +1,439 @@
+package main
+
+// The -pgo-cycle mode: close the self-PGO loop end to end against real
+// binaries. The harness builds a blind (non-PGO) aptgetd, warms it with
+// the loadgen corpus, captures a CPU profile of the daemon *while it
+// serves*, fetches /v1/pprof/merged as the default.pgo candidate,
+// rebuilds aptgetd with `go build -pgo=<profile>`, and replays an
+// identical open-loop measurement against both binaries:
+//
+//	aptbench -pgo-cycle          # full cycle, writes the pgo section
+//	aptbench -pgo-cycle -quick   # shorter warm/capture/measure
+//
+// The before/after lands in the `pgo` section of BENCH_serve.json. On a
+// shared CI box the delta is noise-dominated; the section's value is
+// proving the loop runs (capture → artifact → rebuild → serve), not a
+// publishable speedup. See EXPERIMENTS.md for the honest caveats.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"aptget/internal/pgo"
+)
+
+// PGOVariantTiming is one binary's measured serving performance under
+// the cycle's fixed open-loop load.
+type PGOVariantTiming struct {
+	Build          string  `json:"build"`
+	PGOBuilt       bool    `json:"pgo_built"`
+	ReqPerSec      float64 `json:"req_per_sec"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	DropRejectRate float64 `json:"drop_reject_rate"`
+}
+
+// PGOCycleReport is the `pgo` section of BENCH_serve.json: the
+// rebuild-and-measure cycle's provenance, profile, and before/after.
+type PGOCycleReport struct {
+	GeneratedAt    string           `json:"generated_at"`
+	GitCommit      string           `json:"git_commit"`
+	GoVersion      string           `json:"go_version"`
+	CaptureSeconds float64          `json:"capture_seconds"`
+	ProfileBytes   int              `json:"profile_bytes"`
+	ProfileBuild   string           `json:"profile_build"`
+	OfferedPerSec  float64          `json:"offered_req_per_sec"`
+	Requests       int              `json:"requests"`
+	Seed           int64            `json:"seed"`
+	Baseline       PGOVariantTiming `json:"baseline"`
+	PGO            PGOVariantTiming `json:"pgo"`
+	// Speedup is PGO/baseline req/s on this machine at this moment —
+	// read it with the CI-noise caveats in EXPERIMENTS.md.
+	Speedup float64 `json:"speedup_req_per_sec"`
+}
+
+// procBuffer collects a child process's output; exec.Cmd writes from a
+// copier goroutine, the harness reads while polling for the listen line.
+type procBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *procBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *procBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var daemonListenRE = regexp.MustCompile(`listening on ([0-9.:\[\]]+)`)
+
+// childDaemon is one aptgetd under harness control.
+type childDaemon struct {
+	cmd  *exec.Cmd
+	out  *procBuffer
+	Base string // http://host:port
+}
+
+// startDaemonBinary launches an aptgetd binary on an ephemeral port and
+// waits for it to announce its address.
+func startDaemonBinary(bin string, extraArgs ...string) (*childDaemon, error) {
+	d := &childDaemon{out: &procBuffer{}}
+	d.cmd = exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)...)
+	d.cmd.Stdout = d.out
+	d.cmd.Stderr = d.out
+	if err := d.cmd.Start(); err != nil {
+		return nil, fmt.Errorf("pgo-cycle: start %s: %w", bin, err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := daemonListenRE.FindStringSubmatch(d.out.String()); m != nil {
+			d.Base = "http://" + m[1]
+			return d, nil
+		}
+		if d.cmd.ProcessState != nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+	return nil, fmt.Errorf("pgo-cycle: daemon never announced its address:\n%s", d.out.String())
+}
+
+// Stop terminates the daemon gracefully (SIGTERM, the drain path) and
+// reports a non-zero exit.
+func (d *childDaemon) Stop() error {
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("pgo-cycle: daemon exit: %w\n%s", err, d.out.String())
+		}
+		return nil
+	case <-time.After(30 * time.Second):
+		d.cmd.Process.Kill()
+		<-done
+		return fmt.Errorf("pgo-cycle: daemon did not drain within 30s:\n%s", d.out.String())
+	}
+}
+
+// buildInfo asks a live daemon's healthz who it is.
+func (d *childDaemon) buildInfo() (pgo.BinaryInfo, error) {
+	resp, err := http.Get(d.Base + "/v1/healthz")
+	if err != nil {
+		return pgo.BinaryInfo{}, err
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Build pgo.BinaryInfo `json:"build"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return pgo.BinaryInfo{}, err
+	}
+	return h.Build, nil
+}
+
+// moduleRoot locates the repo root via the go tool.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("pgo-cycle: go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("pgo-cycle: not inside a module (GOMOD=%q)", gomod)
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// buildDaemon compiles cmd/aptgetd into outBin; pgoProfile != "" builds
+// with -pgo=<profile>, "" builds with PGO explicitly off so the baseline
+// never silently picks up a default.pgo.
+func buildDaemon(root, outBin, pgoProfile string) error {
+	pgoArg := "-pgo=off"
+	if pgoProfile != "" {
+		pgoArg = "-pgo=" + pgoProfile
+	}
+	cmd := exec.Command("go", "build", pgoArg, "-o", outBin, "./cmd/aptgetd")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return fmt.Errorf("pgo-cycle: go build %s: %w\n%s", pgoArg, err, out)
+	}
+	return nil
+}
+
+// warmAndMeasure warms a daemon closed-loop, then runs the cycle's fixed
+// open-loop measurement. rate <= 0 derives the offered rate from the
+// warm pass (the caller reuses the returned rate for the second binary,
+// keeping both measurements identical).
+func warmAndMeasure(base string, quick bool, rate float64, stdout io.Writer) (PGOVariantTiming, float64, error) {
+	warm := loadgenOptions{Addr: base, Clients: 8, Requests: 192, Corpus: []string{"IS"}}
+	measureReqs := 1000
+	if quick {
+		warm.Requests = 96
+		measureReqs = 300
+	}
+	wstats, err := runLoadgen(warm, io.Discard)
+	if err != nil {
+		return PGOVariantTiming{}, 0, fmt.Errorf("pgo-cycle: warm: %w", err)
+	}
+	if rate <= 0 {
+		// Offer ~60% of warm closed-loop throughput: high enough to
+		// exercise the hot path, low enough that the open loop measures
+		// latency rather than queueing collapse.
+		rate = 0.6 * float64(wstats.OK) / wstats.Elapsed.Seconds()
+		if rate < 10 {
+			rate = 10
+		}
+	}
+	open := loadgenOptions{
+		Addr: base, Requests: measureReqs, Corpus: []string{"IS"},
+		Rate: rate, Seed: 1,
+	}
+	stats, err := runLoadgen(open, io.Discard)
+	if err != nil {
+		return PGOVariantTiming{}, 0, fmt.Errorf("pgo-cycle: measure: %w", err)
+	}
+	vt := PGOVariantTiming{
+		ReqPerSec:      float64(stats.OK) / stats.Elapsed.Seconds(),
+		P50Ms:          stats.Latency.P50,
+		P99Ms:          stats.Latency.P99,
+		DropRejectRate: stats.DropRejectRate(),
+	}
+	fmt.Fprintf(stdout, "pgo-cycle: measured %.1f req/s P50=%.2fms P99=%.2fms (offered %.1f req/s)\n",
+		vt.ReqPerSec, vt.P50Ms, vt.P99Ms, rate)
+	return vt, rate, nil
+}
+
+// captureWhileServing keeps the daemon busy with closed-loop traffic
+// while one stored capture window runs, so the profile contains serving
+// work rather than an idle scheduler.
+func captureWhileServing(base string, quick bool, stdout io.Writer) (float64, error) {
+	secs := 3.0
+	if quick {
+		secs = 1.5
+	}
+	stop := make(chan struct{})
+	loadErr := make(chan error, 1)
+	go func() {
+		opt := loadgenOptions{Addr: base, Clients: 8, Requests: 192, Corpus: []string{"IS"}}
+		for {
+			select {
+			case <-stop:
+				loadErr <- nil
+				return
+			default:
+			}
+			if _, err := runLoadgen(opt, io.Discard); err != nil {
+				loadErr <- err
+				return
+			}
+		}
+	}()
+
+	client := &http.Client{Timeout: time.Duration(secs*float64(time.Second)) + 30*time.Second}
+	resp, err := client.Get(fmt.Sprintf("%s/v1/pprof/cpu?seconds=%g&store=1", base, secs))
+	close(stop)
+	if lerr := <-loadErr; lerr != nil && err == nil {
+		err = lerr
+	}
+	if err != nil {
+		return 0, fmt.Errorf("pgo-cycle: capture: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("pgo-cycle: capture status %d: %s", resp.StatusCode, body)
+	}
+	fmt.Fprintf(stdout, "pgo-cycle: captured %gs window under load (%d bytes, artifact %s)\n",
+		secs, len(body), resp.Header.Get("X-Apt-Artifact"))
+	return secs, nil
+}
+
+// fetchMerged downloads the daemon's best stored profile.
+func fetchMerged(base string) (data []byte, build string, err error) {
+	resp, err := http.Get(base + "/v1/pprof/merged")
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("pgo-cycle: merged status %d: %s", resp.StatusCode, data)
+	}
+	if err := pgo.ValidateProfile(data); err != nil {
+		return nil, "", fmt.Errorf("pgo-cycle: merged profile invalid: %w", err)
+	}
+	return data, resp.Header.Get("X-Apt-Build"), nil
+}
+
+// runPGOCycle is the whole loop: build blind, warm, capture under load,
+// fetch merged, rebuild with -pgo, measure both identically, write the
+// before/after into serveout's pgo section.
+func runPGOCycle(quick bool, serveout string, stdout io.Writer) error {
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	work, err := os.MkdirTemp("", "aptbench-pgo-cycle-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+
+	report := PGOCycleReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GitCommit:   gitCommit(),
+		GoVersion:   runtime.Version(),
+		Seed:        1,
+	}
+
+	// 1. Baseline binary, explicitly blind to any default.pgo.
+	baseBin := filepath.Join(work, "aptgetd-base")
+	fmt.Fprintf(stdout, "pgo-cycle: building baseline (pgo off) in %s\n", root)
+	if err := buildDaemon(root, baseBin, ""); err != nil {
+		return err
+	}
+	daemon, err := startDaemonBinary(baseBin, "-pgo-dir", filepath.Join(work, "artifacts"))
+	if err != nil {
+		return err
+	}
+	baseInfo, err := daemon.buildInfo()
+	if err != nil {
+		daemon.Stop()
+		return fmt.Errorf("pgo-cycle: baseline healthz: %w", err)
+	}
+	if baseInfo.PGOBuilt {
+		daemon.Stop()
+		return fmt.Errorf("pgo-cycle: baseline binary claims pgo_built (build %s)", baseInfo.ID)
+	}
+	fmt.Fprintf(stdout, "pgo-cycle: baseline daemon up (build %s) at %s\n", baseInfo.ID, daemon.Base)
+
+	// 2. Capture a profile of the daemon while it serves, then pull the
+	// merged artifact — the default.pgo candidate.
+	capSecs, err := captureWhileServing(daemon.Base, quick, stdout)
+	if err != nil {
+		daemon.Stop()
+		return err
+	}
+	report.CaptureSeconds = capSecs
+	profile, profBuild, err := fetchMerged(daemon.Base)
+	if err != nil {
+		daemon.Stop()
+		return err
+	}
+	if profBuild != baseInfo.ID {
+		daemon.Stop()
+		return fmt.Errorf("pgo-cycle: merged profile is for build %s, daemon is %s", profBuild, baseInfo.ID)
+	}
+	report.ProfileBytes = len(profile)
+	report.ProfileBuild = profBuild
+	profPath := filepath.Join(work, "default.pgo")
+	if err := os.WriteFile(profPath, profile, 0o644); err != nil {
+		daemon.Stop()
+		return err
+	}
+	fmt.Fprintf(stdout, "pgo-cycle: merged profile %d bytes (build %s) -> %s\n",
+		len(profile), profBuild, profPath)
+
+	// 3. Measure the baseline, deriving the fixed offered rate both
+	// binaries will see.
+	baseTiming, rate, err := warmAndMeasure(daemon.Base, quick, 0, stdout)
+	if err != nil {
+		daemon.Stop()
+		return err
+	}
+	baseTiming.Build = baseInfo.ID
+	report.Baseline = baseTiming
+	report.OfferedPerSec = rate
+	if quick {
+		report.Requests = 300
+	} else {
+		report.Requests = 1000
+	}
+	if err := daemon.Stop(); err != nil {
+		return err
+	}
+
+	// 4. Rebuild with the captured profile and measure identically.
+	pgoBin := filepath.Join(work, "aptgetd-pgo")
+	fmt.Fprintf(stdout, "pgo-cycle: rebuilding with -pgo=%s\n", profPath)
+	if err := buildDaemon(root, pgoBin, profPath); err != nil {
+		return err
+	}
+	daemon, err = startDaemonBinary(pgoBin)
+	if err != nil {
+		return err
+	}
+	pgoInfo, err := daemon.buildInfo()
+	if err != nil {
+		daemon.Stop()
+		return fmt.Errorf("pgo-cycle: pgo healthz: %w", err)
+	}
+	if !pgoInfo.PGOBuilt {
+		daemon.Stop()
+		return fmt.Errorf("pgo-cycle: rebuilt binary does not report pgo_built (build %s)", pgoInfo.ID)
+	}
+	if pgoInfo.ID == baseInfo.ID {
+		daemon.Stop()
+		return fmt.Errorf("pgo-cycle: pgo binary has the baseline's build ID %s", pgoInfo.ID)
+	}
+	fmt.Fprintf(stdout, "pgo-cycle: pgo daemon up (build %s, pgo=%s) at %s\n",
+		pgoInfo.ID, filepath.Base(pgoInfo.PGOProfile), daemon.Base)
+	pgoTiming, _, err := warmAndMeasure(daemon.Base, quick, rate, stdout)
+	if err != nil {
+		daemon.Stop()
+		return err
+	}
+	pgoTiming.Build = pgoInfo.ID
+	pgoTiming.PGOBuilt = true
+	report.PGO = pgoTiming
+	if err := daemon.Stop(); err != nil {
+		return err
+	}
+	if baseTiming.ReqPerSec > 0 {
+		report.Speedup = pgoTiming.ReqPerSec / baseTiming.ReqPerSec
+	}
+
+	// 5. Land the before/after in the serve report's pgo section without
+	// touching the rest of the file.
+	rep := loadServeReport(serveout)
+	rep.PGO = &report
+	if rep.GeneratedAt == "" {
+		rep.GeneratedAt = report.GeneratedAt
+		rep.GitCommit = report.GitCommit
+		rep.GoVersion = report.GoVersion
+		rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+		rep.Quick = quick
+	}
+	if err := writeServeReport(serveout, &rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout,
+		"pgo-cycle: baseline %.1f req/s -> pgo %.1f req/s (%.3fx); wrote pgo section of %s\n",
+		baseTiming.ReqPerSec, pgoTiming.ReqPerSec, report.Speedup, serveout)
+	return nil
+}

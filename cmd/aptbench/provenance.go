@@ -1,0 +1,48 @@
+package main
+
+// Provenance stamping for the BENCH_*.json reports: every generated
+// report records which commit produced it, so a perf trajectory can be
+// walked back to the exact tree it measured.
+
+import (
+	"os/exec"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+var gitCommitOnce = sync.OnceValue(func() string {
+	// Binaries built by `go build` carry the VCS stamp; `go run` and
+	// test binaries usually do not, so fall back to asking git.
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			return rev + dirty
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if rev := strings.TrimSpace(string(out)); rev != "" {
+			if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil &&
+				len(strings.TrimSpace(string(st))) > 0 {
+				rev += "+dirty"
+			}
+			return rev
+		}
+	}
+	return "unknown"
+})
+
+// gitCommit identifies the commit the benchmark binary was built from
+// ("+dirty" when the tree had local modifications), or "unknown" when
+// neither the build stamp nor a git checkout is available.
+func gitCommit() string { return gitCommitOnce() }

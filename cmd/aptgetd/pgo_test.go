@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"aptget/internal/pgo"
+)
+
+func TestPGOPeriodRequiresDir(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-pgo-period", "1s"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("-pgo-period without -pgo-dir exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-pgo-dir") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+}
+
+func TestPGODurationLongerThanPeriodIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{
+		"-pgo-dir", t.TempDir(), "-pgo-period", "1s", "-pgo-duration", "2s",
+	}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("duration > period exit = %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+}
+
+// TestStartupBuildLine: the daemon announces its build identity before
+// serving, in greppable form, and this (non-PGO) test binary says
+// pgo=none.
+func TestStartupBuildLine(t *testing.T) {
+	var stdout syncBuffer
+	_, cancel, done := startDaemon(t, &stdout)
+	defer cancel()
+
+	want := "aptgetd: build " + pgo.BuildID()
+	if !strings.Contains(stdout.String(), want) {
+		t.Fatalf("stdout missing build line %q:\n%s", want, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "pgo=none") {
+		t.Fatalf("stdout missing pgo=none:\n%s", stdout.String())
+	}
+	cancel()
+	<-done
+}
+
+// TestSelfPGORoundTrip: a daemon started with an artifact store captures
+// on demand, persists with store=1, and serves the artifact back via
+// /v1/pprof/merged — the full harness fetch path, against the real
+// binary lifecycle.
+func TestSelfPGORoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var stdout syncBuffer
+	base, cancel, done := startDaemon(t, &stdout,
+		"-pgo-dir", dir, "-pgo-keep", "4")
+	defer cancel()
+
+	if !strings.Contains(stdout.String(), "self-pgo artifact store") {
+		t.Fatalf("stdout missing self-pgo config line:\n%s", stdout.String())
+	}
+
+	resp, err := http.Get(base + "/v1/pprof/cpu?seconds=0.1&store=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	captured, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("capture = %d (%s)", resp.StatusCode, captured)
+	}
+
+	resp, err = http.Get(base + "/v1/pprof/merged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("merged = %d (%s)", resp.StatusCode, merged)
+	}
+	if !bytes.Equal(merged, captured) {
+		t.Fatal("merged differs from the single stored capture")
+	}
+	if err := pgo.ValidateProfile(merged); err != nil {
+		t.Fatalf("daemon served an invalid profile: %v", err)
+	}
+
+	// The artifact landed under the running build's shelf on disk.
+	ents, err := os.ReadDir(filepath.Join(dir, pgo.BuildID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("artifact shelf holds %d files, want 1", len(ents))
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("daemon exit = %d\nstdout: %s", code, stdout.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit")
+	}
+}
+
+// TestWindowedDaemonShutdownIsClean: a daemon running the windowed loop
+// drains it on SIGTERM-equivalent cancellation and still exits 0.
+func TestWindowedDaemonShutdownIsClean(t *testing.T) {
+	var stdout syncBuffer
+	_, cancel, done := startDaemon(t, &stdout,
+		"-pgo-dir", t.TempDir(), "-pgo-period", "200ms", "-pgo-duration", "50ms")
+	if !strings.Contains(stdout.String(), "self-pgo capturing 50ms windows every 200ms") {
+		t.Fatalf("stdout missing windowed config line:\n%s", stdout.String())
+	}
+	time.Sleep(250 * time.Millisecond) // let at least one tick fire (idle → skipped)
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("daemon exit = %d\nstdout: %s", code, stdout.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit")
+	}
+	if !strings.Contains(stdout.String(), "shut down cleanly") {
+		t.Fatalf("stdout missing shutdown line:\n%s", stdout.String())
+	}
+}

@@ -1,0 +1,230 @@
+package pgo
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime/pprof"
+	"sync/atomic"
+	"time"
+
+	"aptget/internal/obs"
+)
+
+// Default capture geometry.
+const (
+	// DefaultDuration is the window length when Config.Duration is zero.
+	DefaultDuration = 5 * time.Second
+	// MaxOnDemandDuration caps a single on-demand capture; the service's
+	// /v1/pprof/cpu clamps client-requested lengths to it.
+	MaxOnDemandDuration = 120 * time.Second
+)
+
+// ErrNoStore is returned when persistence is requested from a capturer
+// configured without an artifact directory.
+var ErrNoStore = errors.New("pgo: no artifact store configured")
+
+// Config tunes a Capturer. The zero value is a valid store-less,
+// loop-less capturer that only serves on-demand captures.
+type Config struct {
+	// Dir roots the profile artifact store; "" disables persistence
+	// (on-demand captures still work, windowed capture does not).
+	Dir string
+	// Period is the windowed-capture cadence; 0 disables the background
+	// loop. Requires Dir — a window that cannot be stored is wasted work.
+	Period time.Duration
+	// Duration is the length of one capture window (0 → DefaultDuration,
+	// clamped below Period). Must be shorter than Period.
+	Duration time.Duration
+	// Keep bounds the artifact store (≤0 → DefaultKeep).
+	Keep int
+}
+
+// profSem serializes CPU profiling process-wide: runtime/pprof allows a
+// single active CPU profile per process, so every capturer in the
+// process (daemon windowed loop, on-demand handler, tests) queues here
+// rather than racing into StartCPUProfile errors.
+var profSem = make(chan struct{}, 1)
+
+// Capturer records CPU profiles of its own process: a background
+// windowed loop feeding the artifact store, plus one-shot on-demand
+// captures for the /v1/pprof/cpu endpoint. All methods are safe for
+// concurrent use; overlapping capture requests serialize on the
+// process-wide profiling semaphore.
+type Capturer struct {
+	cfg   Config
+	store *Store // nil when Config.Dir is empty
+
+	// activity reports a monotone request count; a window is skipped
+	// when the count did not move since the last tick (idle daemon).
+	// nil means "always active". Set before Run starts.
+	activity func() int64
+
+	captures     atomic.Int64
+	captureBytes atomic.Int64
+	lastUnix     atomic.Int64
+	skippedIdle  atomic.Int64
+	flushes      atomic.Int64
+
+	// sp is the long-lived self-profiling span counters mirror into when
+	// the obs registry is enabled at construction.
+	sp *obs.Span
+}
+
+// New builds a capturer. Only a Config with a Dir can fail (store
+// creation), so New(Config{}) is infallible — the ephemeral capturer the
+// service falls back to for on-demand-only profiling.
+func New(cfg Config) (*Capturer, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = DefaultDuration
+		if cfg.Period > 0 && cfg.Duration >= cfg.Period {
+			cfg.Duration = cfg.Period / 2
+		}
+	}
+	if cfg.Period > 0 && cfg.Duration >= cfg.Period {
+		return nil, fmt.Errorf("pgo: capture duration %s must be shorter than period %s",
+			cfg.Duration, cfg.Period)
+	}
+	if cfg.Period > 0 && cfg.Dir == "" {
+		return nil, errors.New("pgo: windowed capture requires an artifact directory")
+	}
+	c := &Capturer{cfg: cfg}
+	if cfg.Dir != "" {
+		st, err := NewStore(cfg.Dir, cfg.Keep, "")
+		if err != nil {
+			return nil, err
+		}
+		c.store = st
+	}
+	c.sp = obs.Begin("aptgetd/pgo", obs.StagePGO)
+	return c, nil
+}
+
+// SetActivity installs the idle detector: f must return a monotone count
+// of served requests. Call before Run.
+func (c *Capturer) SetActivity(f func() int64) { c.activity = f }
+
+// Windowed reports whether the background capture loop is configured.
+func (c *Capturer) Windowed() bool { return c.cfg.Period > 0 }
+
+// Store returns the artifact store, nil when persistence is disabled.
+func (c *Capturer) Store() *Store { return c.store }
+
+// Duration returns the configured window length.
+func (c *Capturer) Duration() time.Duration { return c.cfg.Duration }
+
+// Close ends the capturer's obs span. Idempotent.
+func (c *Capturer) Close() { c.sp.End() }
+
+// CaptureOnce records one CPU profile of the running process for up to d
+// and returns the pprof bytes. It waits (bounded by ctx) for any capture
+// already in flight — runtime/pprof supports one at a time. A ctx
+// cancellation mid-window stops the capture early and returns the
+// partial profile with no error: a shutting-down daemon flushes what it
+// has rather than discarding the window.
+func (c *Capturer) CaptureOnce(ctx context.Context, d time.Duration) ([]byte, error) {
+	if d <= 0 {
+		d = c.cfg.Duration
+	}
+	select {
+	case profSem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("pgo: waiting for in-flight capture: %w", ctx.Err())
+	}
+	defer func() { <-profSem }()
+
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return nil, fmt.Errorf("pgo: starting capture: %w", err)
+	}
+	timer := time.NewTimer(d)
+	select {
+	case <-timer.C:
+	case <-ctx.Done():
+		timer.Stop()
+		c.flushes.Add(1)
+		c.sp.Add("pgo_capture_flushes", 1)
+	}
+	pprof.StopCPUProfile()
+
+	data := buf.Bytes()
+	c.captures.Add(1)
+	c.captureBytes.Add(int64(len(data)))
+	c.lastUnix.Store(time.Now().Unix())
+	c.sp.Add("pgo_captures_taken", 1)
+	c.sp.Add("pgo_capture_bytes", int64(len(data)))
+	c.sp.Set("pgo_last_capture_unix", c.lastUnix.Load())
+	return data, nil
+}
+
+// StoreArtifact persists one captured profile (the /v1/pprof/cpu
+// store=1 path and the windowed loop both land here).
+func (c *Capturer) StoreArtifact(data []byte) (Artifact, error) {
+	if c.store == nil {
+		return Artifact{}, ErrNoStore
+	}
+	return c.store.Put(data)
+}
+
+// Run is the windowed capture loop: every Period, if the daemon served
+// any traffic since the previous tick, record a Duration-long window and
+// store it. Returns when ctx is cancelled; a window in flight at
+// cancellation is stopped early and still flushed to the store, so a
+// graceful shutdown never discards capture work.
+func (c *Capturer) Run(ctx context.Context) {
+	if !c.Windowed() {
+		return
+	}
+	last := int64(0)
+	if c.activity != nil {
+		last = c.activity()
+	}
+	tick := time.NewTicker(c.cfg.Period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if c.activity != nil {
+			now := c.activity()
+			if now == last {
+				c.skippedIdle.Add(1)
+				c.sp.Add("pgo_captures_skipped_idle", 1)
+				continue
+			}
+			last = now
+		}
+		data, err := c.CaptureOnce(ctx, c.cfg.Duration)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			continue
+		}
+		c.StoreArtifact(data)
+		if ctx.Err() != nil {
+			return // the flushed final window is stored; exit
+		}
+	}
+}
+
+// Counters exports the capturer's (and its store's) counters under the
+// names /v1/metrics serves.
+func (c *Capturer) Counters() map[string]int64 {
+	m := map[string]int64{
+		"pgo_captures_taken":        c.captures.Load(),
+		"pgo_capture_bytes":         c.captureBytes.Load(),
+		"pgo_last_capture_unix":     c.lastUnix.Load(),
+		"pgo_captures_skipped_idle": c.skippedIdle.Load(),
+		"pgo_capture_flushes":       c.flushes.Load(),
+	}
+	if c.store != nil {
+		for k, v := range c.store.Counters() {
+			m[k] = v
+		}
+	}
+	return m
+}

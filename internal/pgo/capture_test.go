@@ -1,0 +1,226 @@
+package pgo
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// spin burns CPU briefly so a capture window has something to sample.
+// The profile is structurally valid even with zero samples, so tests do
+// not depend on the sampler actually firing — this just keeps captures
+// realistic.
+func spin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	x := uint64(1)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1<<14; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+		}
+	}
+	_ = x
+}
+
+func TestCaptureOnceProducesValidProfile(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	go spin(100 * time.Millisecond)
+	data, err := c.CaptureOnce(context.Background(), 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateProfile(data); err != nil {
+		t.Fatalf("captured bytes do not validate: %v", err)
+	}
+	m := c.Counters()
+	if m["pgo_captures_taken"] != 1 {
+		t.Fatalf("pgo_captures_taken = %d, want 1", m["pgo_captures_taken"])
+	}
+	if m["pgo_capture_bytes"] != int64(len(data)) {
+		t.Fatalf("pgo_capture_bytes = %d, want %d", m["pgo_capture_bytes"], len(data))
+	}
+	if m["pgo_last_capture_unix"] == 0 {
+		t.Fatal("pgo_last_capture_unix not stamped")
+	}
+}
+
+func TestCaptureOnceStoreless(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.StoreArtifact([]byte("x")); err != ErrNoStore {
+		t.Fatalf("StoreArtifact without a store = %v, want ErrNoStore", err)
+	}
+}
+
+// TestGracefulShutdownFlushesInflightWindow: cancelling the windowed
+// loop mid-capture must stop the window early and still persist it —
+// shutdown never discards capture work.
+func TestGracefulShutdownFlushesInflightWindow(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(Config{
+		Dir:      dir,
+		Period:   50 * time.Millisecond,
+		Duration: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Re-arm the window far longer than the test so cancellation is
+	// guaranteed to land mid-capture once the first window starts.
+	c.cfg.Duration = time.Hour
+
+	var reqs atomic.Int64
+	c.SetActivity(reqs.Load)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		c.Run(ctx)
+		close(done)
+	}()
+
+	// Keep traffic arriving and wait for the window to actually start
+	// (the capture counter only moves when a window *finishes*, so watch
+	// the profiling semaphore instead).
+	deadline := time.Now().Add(10 * time.Second)
+	for len(profSem) == 0 {
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatal("capture window never started")
+		}
+		reqs.Add(1)
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+
+	m := c.Counters()
+	if m["pgo_capture_flushes"] != 1 {
+		t.Fatalf("pgo_capture_flushes = %d, want 1", m["pgo_capture_flushes"])
+	}
+	arts, err := c.Store().List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 1 {
+		t.Fatalf("store has %d artifacts after flush, want 1", len(arts))
+	}
+	if arts[0].Build != BuildID() {
+		t.Fatalf("flushed artifact stored under build %q, want %q", arts[0].Build, BuildID())
+	}
+}
+
+// TestIdleWindowsAreSkipped: with a flat activity counter the loop must
+// record zero captures and count the skipped windows.
+func TestIdleWindowsAreSkipped(t *testing.T) {
+	c, err := New(Config{
+		Dir:      t.TempDir(),
+		Period:   10 * time.Millisecond,
+		Duration: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetActivity(func() int64 { return 7 }) // never moves
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	c.Run(ctx)
+
+	m := c.Counters()
+	if m["pgo_captures_taken"] != 0 {
+		t.Fatalf("idle daemon took %d captures, want 0", m["pgo_captures_taken"])
+	}
+	if m["pgo_captures_skipped_idle"] == 0 {
+		t.Fatal("no windows counted as skipped-idle")
+	}
+}
+
+// TestWindowedLoopCapturesUnderTraffic: a moving activity counter must
+// produce stored artifacts.
+func TestWindowedLoopCapturesUnderTraffic(t *testing.T) {
+	c, err := New(Config{
+		Dir:      t.TempDir(),
+		Period:   30 * time.Millisecond,
+		Duration: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var reqs atomic.Int64
+	c.SetActivity(reqs.Load)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { c.Run(ctx); close(done) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for c.captures.Load() < 2 {
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatal("windowed loop never captured under traffic")
+		}
+		reqs.Add(1)
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+
+	arts, err := c.Store().List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) < 2 {
+		t.Fatalf("store has %d artifacts, want >= 2", len(arts))
+	}
+	if _, data, err := c.Store().Best(); err != nil || ValidateProfile(data) != nil {
+		t.Fatalf("Best() after windowed captures: err=%v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Period: time.Second, Duration: 2 * time.Second, Dir: t.TempDir()}); err == nil {
+		t.Fatal("duration >= period accepted")
+	}
+	if _, err := New(Config{Period: time.Second}); err == nil {
+		t.Fatal("windowed capture without a store directory accepted")
+	}
+	// Default duration must clamp below a short period rather than fail.
+	c, err := New(Config{Period: time.Second, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if d := c.Duration(); d >= time.Second || d <= 0 {
+		t.Fatalf("defaulted duration = %s, want in (0, period)", d)
+	}
+}
+
+func TestBinaryInfo(t *testing.T) {
+	b := Binary()
+	if b.ID == "" {
+		t.Fatal("empty build ID")
+	}
+	if b.GoVersion == "" {
+		t.Fatal("empty go version")
+	}
+	// Test binaries are never PGO-built.
+	if b.PGOBuilt || b.PGOProfile != "" {
+		t.Fatalf("test binary claims PGO-built (profile %q)", b.PGOProfile)
+	}
+}

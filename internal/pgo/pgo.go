@@ -1,0 +1,77 @@
+// Package pgo closes the paper's loop on the daemon itself: the plan
+// service profiles *programs* to optimize how their code prefetches, and
+// this package profiles *the service* to optimize how its own binary is
+// built. It is the capture-and-store half of a self-PGO pipeline:
+//
+//   - A windowed Capturer periodically records runtime/pprof CPU
+//     profiles of the live daemon (pausing while the daemon is idle, so
+//     an unloaded instance does not accumulate empty windows) and also
+//     serves one-shot on-demand captures.
+//   - A disk-backed Store keeps the captured artifacts, segregated by
+//     the binary's build ID so profiles from a stale binary are never
+//     offered as the current binary's `default.pgo` candidate (the
+//     stale-profile concern of Ayupov et al. applied to ourselves), with
+//     oldest-first rotation that never evicts the current build's newest
+//     profile.
+//   - ValidateProfile checks that stored bytes really are a pprof
+//     protobuf, so a corrupted artifact can never reach `go build -pgo`.
+//
+// The rebuild half is native: `go build -pgo=<artifact>` (Go ≥ 1.21).
+// `aptbench -pgo-cycle` drives the whole loop end to end — warm the
+// daemon under load, fetch the merged profile, rebuild, re-measure.
+package pgo
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BinaryInfo describes the running binary as far as self-PGO cares:
+// which build it is, and whether that build was itself profile-guided.
+type BinaryInfo struct {
+	// ID is a short stable hash of the full build metadata
+	// (debug.ReadBuildInfo): module version, VCS stamp, and build
+	// settings — including the -pgo setting, so a PGO rebuild of the
+	// same source gets a distinct ID and its captures a distinct
+	// artifact shelf.
+	ID string `json:"id"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// PGOProfile is the value of the -pgo build setting: the path of the
+	// profile the binary was built against, or "" for a blind build.
+	PGOProfile string `json:"pgo_profile,omitempty"`
+	// PGOBuilt reports whether the binary was built with -pgo.
+	PGOBuilt bool `json:"pgo_built"`
+}
+
+var (
+	binaryOnce sync.Once
+	binaryInfo BinaryInfo
+)
+
+// Binary returns the running binary's build identity. Computed once; the
+// result is what healthz, the startup log, and the artifact store key on.
+func Binary() BinaryInfo {
+	binaryOnce.Do(func() {
+		binaryInfo = BinaryInfo{ID: "unknown", GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		sum := sha256.Sum256([]byte(bi.String()))
+		binaryInfo.ID = hex.EncodeToString(sum[:6])
+		for _, s := range bi.Settings {
+			if s.Key == "-pgo" && s.Value != "" {
+				binaryInfo.PGOProfile = s.Value
+				binaryInfo.PGOBuilt = true
+			}
+		}
+	})
+	return binaryInfo
+}
+
+// BuildID is shorthand for Binary().ID.
+func BuildID() string { return Binary().ID }

@@ -1,0 +1,235 @@
+package pgo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultKeep bounds the store when Config.Keep is non-positive.
+const DefaultKeep = 16
+
+// Artifact is one stored CPU profile.
+type Artifact struct {
+	// Build is the build ID of the binary the profile was captured from.
+	Build string `json:"build"`
+	// Name is the artifact's file name (unique, chronologically sortable).
+	Name string `json:"name"`
+	// Path is the absolute on-disk location.
+	Path string `json:"path"`
+	// Size is the gzip-compressed profile size in bytes.
+	Size int64 `json:"size"`
+	// Unix is the capture completion time (seconds).
+	Unix int64 `json:"unix"`
+}
+
+// Store is the disk-backed profile artifact shelf:
+//
+//	<dir>/<buildID>/cpu-<unixnano>-<seq>.pprof
+//
+// Artifacts are segregated per build ID so a binary never offers another
+// build's profile as its own `default.pgo` candidate, and rotation is
+// bounded: past Keep total artifacts the oldest are evicted first —
+// except the current build's newest profile, which is never evicted (the
+// one artifact a rebuild harness must always be able to fetch).
+//
+// The store keeps no in-memory index: every operation works off the
+// directory, so concurrent daemons (or a daemon and the harness) see a
+// consistent view and a restart loses nothing.
+type Store struct {
+	dir   string
+	keep  int
+	build string
+
+	mu  sync.Mutex // serializes Put's write→rotate sequence
+	seq atomic.Int64
+
+	puts, putBytes, evictions atomic.Int64
+}
+
+// NewStore opens (creating if needed) an artifact store rooted at dir,
+// keeping at most keep artifacts (≤0 → DefaultKeep), capturing for the
+// binary identified by build ("" → the running binary's BuildID).
+func NewStore(dir string, keep int, build string) (*Store, error) {
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	if build == "" {
+		build = BuildID()
+	}
+	if err := os.MkdirAll(filepath.Join(dir, build), 0o755); err != nil {
+		return nil, fmt.Errorf("pgo: creating artifact store: %w", err)
+	}
+	return &Store{dir: dir, keep: keep, build: build}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Build returns the build ID new artifacts are stored under.
+func (s *Store) Build() string { return s.build }
+
+// artifactName builds the chronologically-sortable file name: the
+// zero-padded capture nanosecond plus a per-process sequence number, so
+// two captures landing in the same nanosecond still order and never
+// collide.
+func (s *Store) artifactName(now time.Time) string {
+	return fmt.Sprintf("cpu-%020d-%06d.pprof", now.UnixNano(), s.seq.Add(1))
+}
+
+// parseArtifact recovers an Artifact from its path; ok is false for
+// files that are not store artifacts (editor droppings, partial writes).
+func parseArtifact(dir, build, name string, size int64) (Artifact, bool) {
+	if !strings.HasPrefix(name, "cpu-") || !strings.HasSuffix(name, ".pprof") {
+		return Artifact{}, false
+	}
+	fields := strings.Split(strings.TrimSuffix(strings.TrimPrefix(name, "cpu-"), ".pprof"), "-")
+	if len(fields) != 2 {
+		return Artifact{}, false
+	}
+	nanos, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Artifact{}, false
+	}
+	return Artifact{
+		Build: build,
+		Name:  name,
+		Path:  filepath.Join(dir, build, name),
+		Size:  size,
+		Unix:  nanos / 1e9,
+	}, true
+}
+
+// Put validates and stores one captured profile under the current build,
+// then rotates. The write is atomic (temp file + rename) so a reader
+// never sees a half-written artifact.
+func (s *Store) Put(data []byte) (Artifact, error) {
+	if err := ValidateProfile(data); err != nil {
+		return Artifact{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	name := s.artifactName(time.Now())
+	path := filepath.Join(s.dir, s.build, name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return Artifact{}, fmt.Errorf("pgo: writing artifact: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return Artifact{}, fmt.Errorf("pgo: publishing artifact: %w", err)
+	}
+	s.puts.Add(1)
+	s.putBytes.Add(int64(len(data)))
+	s.rotateLocked()
+	a, _ := parseArtifact(s.dir, s.build, name, int64(len(data)))
+	return a, nil
+}
+
+// List returns every stored artifact across all builds, oldest first
+// (capture time, then name).
+func (s *Store) List() ([]Artifact, error) {
+	builds, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("pgo: listing artifact store: %w", err)
+	}
+	var out []Artifact
+	for _, b := range builds {
+		if !b.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(s.dir, b.Name()))
+		if err != nil {
+			continue // a build shelf vanished under us (concurrent rotation)
+		}
+		for _, f := range files {
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			if a, ok := parseArtifact(s.dir, b.Name(), f.Name(), info.Size()); ok {
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Build < out[j].Build
+	})
+	return out, nil
+}
+
+// Best returns the current build's strongest artifact — the default.pgo
+// candidate /v1/pprof/merged serves. "Strongest" is the largest artifact
+// (compressed size tracks sample count for same-shape captures),
+// newest-first on ties, so a long loaded window beats a short idle one.
+func (s *Store) Best() (Artifact, []byte, error) {
+	all, err := s.List()
+	if err != nil {
+		return Artifact{}, nil, err
+	}
+	var best Artifact
+	for _, a := range all { // oldest→newest: later ties win
+		if a.Build != s.build {
+			continue
+		}
+		if best.Name == "" || a.Size >= best.Size {
+			best = a
+		}
+	}
+	if best.Name == "" {
+		return Artifact{}, nil, fmt.Errorf("pgo: no stored profile for build %s", s.build)
+	}
+	data, err := os.ReadFile(best.Path)
+	if err != nil {
+		return Artifact{}, nil, fmt.Errorf("pgo: reading artifact: %w", err)
+	}
+	return best, data, nil
+}
+
+// rotateLocked enforces the Keep bound: evict oldest-first across every
+// build, but never the current build's newest artifact. Called with s.mu
+// held, after a Put.
+func (s *Store) rotateLocked() {
+	all, err := s.List()
+	if err != nil {
+		return
+	}
+	protected := ""
+	for _, a := range all { // oldest→newest: the last match is the newest
+		if a.Build == s.build {
+			protected = a.Path
+		}
+	}
+	excess := len(all) - s.keep
+	for _, a := range all {
+		if excess <= 0 {
+			break
+		}
+		if a.Path == protected {
+			continue
+		}
+		if os.Remove(a.Path) == nil {
+			s.evictions.Add(1)
+			excess--
+		}
+	}
+}
+
+// Counters exports the store counters under the names /v1/metrics serves.
+func (s *Store) Counters() map[string]int64 {
+	return map[string]int64{
+		"pgo_store_puts":      s.puts.Load(),
+		"pgo_store_bytes":     s.putBytes.Load(),
+		"pgo_store_evictions": s.evictions.Load(),
+	}
+}

@@ -1,0 +1,303 @@
+package pgo
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeProfile builds a minimal structurally-valid pprof profile of the
+// given approximate compressed size, so store tests control artifact
+// sizes without running the real profiler.
+func fakeProfile(t *testing.T, pad int) []byte {
+	t.Helper()
+	var raw bytes.Buffer
+	// field 1 (sample_type), length-delimited: a ValueType{type:1, unit:2}.
+	vt := []byte{0x08, 0x01, 0x10, 0x02}
+	raw.WriteByte(1<<3 | 2)
+	var lenBuf [10]byte
+	raw.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(len(vt)))])
+	raw.Write(vt)
+	// field 4 (string_table entry), length-delimited: incompressible pad
+	// so gzip cannot collapse it and Size ordering is controllable.
+	if pad > 0 {
+		data := make([]byte, pad)
+		x := uint64(12345)
+		for i := range data {
+			x = x*6364136223846793005 + 1442695040888963407
+			data[i] = byte(x >> 33)
+		}
+		raw.WriteByte(6<<3 | 2)
+		raw.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(len(data)))])
+		raw.Write(data)
+	}
+	var out bytes.Buffer
+	zw := gzip.NewWriter(&out)
+	zw.Write(raw.Bytes())
+	zw.Close()
+	if err := ValidateProfile(out.Bytes()); err != nil {
+		t.Fatalf("fakeProfile does not validate: %v", err)
+	}
+	return out.Bytes()
+}
+
+func TestStorePutBestRoundTrip(t *testing.T) {
+	s, err := NewStore(t.TempDir(), 4, "build-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := fakeProfile(t, 64)
+	big := fakeProfile(t, 4096)
+	if _, err := s.Put(big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(small); err != nil {
+		t.Fatal(err)
+	}
+	art, data, err := s.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, big) {
+		t.Fatalf("Best returned the %d-byte artifact, want the largest (%d bytes)",
+			len(data), len(big))
+	}
+	if art.Build != "build-a" {
+		t.Fatalf("Best artifact build = %q", art.Build)
+	}
+}
+
+func TestStoreRejectsGarbage(t *testing.T) {
+	s, err := NewStore(t.TempDir(), 4, "build-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put([]byte("not a profile")); err == nil {
+		t.Fatal("garbage artifact accepted")
+	}
+	if n, _ := s.List(); len(n) != 0 {
+		t.Fatalf("store kept %d artifacts after rejected put", len(n))
+	}
+}
+
+// TestRotationEvictsOldestFirst: past the Keep bound the oldest
+// artifacts go first, across builds.
+func TestRotationEvictsOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, 3, "build-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := fakeProfile(t, 128)
+	var names []string
+	for i := 0; i < 5; i++ {
+		a, err := s.Put(prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, a.Name)
+	}
+	arts, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 3 {
+		t.Fatalf("store has %d artifacts, want keep=3", len(arts))
+	}
+	for i, a := range arts {
+		if want := names[2+i]; a.Name != want {
+			t.Fatalf("survivor %d = %s, want the newest three (%s)", i, a.Name, want)
+		}
+	}
+	if s.Counters()["pgo_store_evictions"] != 2 {
+		t.Fatalf("evictions = %d, want 2", s.Counters()["pgo_store_evictions"])
+	}
+}
+
+// TestRotationSegregatesBuildsAndProtectsCurrentNewest: profiles from a
+// stale binary live on their own shelf, rotation prefers evicting them
+// (they are oldest), and the current build's newest artifact survives
+// even at keep=1 with older-named foreign artifacts arriving afterwards.
+func TestRotationSegregatesBuildsAndProtectsCurrentNewest(t *testing.T) {
+	dir := t.TempDir()
+
+	// A previous binary's captures, first chronologically.
+	old, err := NewStore(dir, 100, "build-old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := old.Put(fakeProfile(t, 256)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The current binary captures once; its rotation must clear the old
+	// build's shelf entirely before ever touching its own newest.
+	cur, err := NewStore(dir, 1, "build-new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mine, err := cur.Put(fakeProfile(t, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arts, err := cur.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 1 || arts[0].Name != mine.Name || arts[0].Build != "build-new" {
+		t.Fatalf("survivors = %+v, want only the current build's newest (%s)", arts, mine.Name)
+	}
+
+	// Best must never serve another build's profile: a store for a third
+	// build sharing the directory sees no candidate at all.
+	other, err := NewStore(dir, 100, "build-other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := other.Best(); err == nil {
+		t.Fatal("Best served a foreign build's profile")
+	}
+}
+
+// TestRotationSkipsProtectedAndKeepsEvicting: when the current build's
+// newest profile is also the *oldest* file on disk, rotation must skip
+// it and evict the next-oldest instead — the protected artifact survives
+// even though oldest-first order would have claimed it first.
+func TestRotationSkipsProtectedAndKeepsEvicting(t *testing.T) {
+	dir := t.TempDir()
+	cur, err := NewStore(dir, 1, "build-new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mine, err := cur.Put(fakeProfile(t, 64)) // oldest file, but protected
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stale binary's newer capture shares the directory (keep high
+	// enough that *its* Put does not rotate).
+	old, err := NewStore(dir, 100, "build-old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := old.Put(fakeProfile(t, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the current store's rotation with both files on disk.
+	cur.mu.Lock()
+	cur.rotateLocked()
+	cur.mu.Unlock()
+
+	arts, err := cur.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 1 || arts[0].Name != mine.Name {
+		t.Fatalf("survivors = %+v, want only the protected %s (foreign %s evicted)",
+			arts, mine.Name, foreign.Name)
+	}
+	if cur.Counters()["pgo_store_evictions"] != 1 {
+		t.Fatalf("evictions = %d, want 1", cur.Counters()["pgo_store_evictions"])
+	}
+}
+
+func TestArtifactNamesSortChronologically(t *testing.T) {
+	s, err := NewStore(t.TempDir(), 100, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := ""
+	for i := 0; i < 10; i++ {
+		a, err := s.Put(fakeProfile(t, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name <= prev {
+			t.Fatalf("artifact %d name %s does not sort after %s", i, a.Name, prev)
+		}
+		prev = a.Name
+	}
+}
+
+func TestListIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(dir, 4, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put(fakeProfile(t, 16)); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, "b", "README.txt"), []byte("hi"), 0o644)
+	os.WriteFile(filepath.Join(dir, "b", fmt.Sprintf("cpu-%020d-000001.pprof.tmp", time.Now().UnixNano())), []byte("partial"), 0o644)
+	arts, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 1 {
+		t.Fatalf("List = %d artifacts, want 1 (foreign files ignored)", len(arts))
+	}
+}
+
+// TestStoreSurvivesRestart: a fresh Store handle over an existing
+// directory serves the prior process's artifacts.
+func TestStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewStore(dir, 4, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := fakeProfile(t, 256)
+	if _, err := s1.Put(prof); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewStore(dir, 4, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, data, err := s2.Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, prof) {
+		t.Fatal("restarted store served different bytes")
+	}
+}
+
+// TestRealCaptureStores: the capturer's own output round-trips through
+// the store (integration of the two halves).
+func TestRealCaptureStores(t *testing.T) {
+	c, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	go spin(60 * time.Millisecond)
+	data, err := c.CaptureOnce(context.Background(), 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := c.StoreArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Build != BuildID() {
+		t.Fatalf("artifact build = %q, want running binary's %q", art.Build, BuildID())
+	}
+	_, best, err := c.Store().Best()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(best, data) {
+		t.Fatal("Best did not round-trip the captured bytes")
+	}
+}

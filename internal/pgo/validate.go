@@ -1,0 +1,95 @@
+package pgo
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// maxProfileBytes caps how large a decompressed profile the validator
+// (and therefore the store) accepts. Real CPU captures of the daemon are
+// tens to hundreds of kilobytes; 64 MiB is far past any honest profile
+// and keeps a hostile upload from ballooning memory.
+const maxProfileBytes = 64 << 20
+
+// pprof proto top-level field numbers the validator anchors on
+// (profile.proto): sample_type is mandatory in every profile runtime/
+// pprof emits, including a zero-sample capture of an idle process.
+const (
+	fieldSampleType = 1
+	fieldTimeNanos  = 9
+)
+
+// ValidateProfile checks that data is a pprof profile: gzip-compressed
+// protobuf whose top-level wire structure parses end to end and carries
+// at least one sample_type entry. It does not interpret the samples —
+// the point is to guarantee that whatever the store hands to
+// `go build -pgo` is structurally a profile, not to judge its quality.
+func ValidateProfile(data []byte) error {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("pgo: profile is not gzip-compressed: %w", err)
+	}
+	raw, err := io.ReadAll(io.LimitReader(zr, maxProfileBytes+1))
+	if err != nil {
+		return fmt.Errorf("pgo: decompressing profile: %w", err)
+	}
+	if len(raw) > maxProfileBytes {
+		return fmt.Errorf("pgo: decompressed profile exceeds %d bytes", maxProfileBytes)
+	}
+	if len(raw) == 0 {
+		return errors.New("pgo: profile is empty")
+	}
+
+	sawSampleType := false
+	for off := 0; off < len(raw); {
+		tag, n := binary.Uvarint(raw[off:])
+		if n <= 0 {
+			return fmt.Errorf("pgo: malformed field tag at offset %d", off)
+		}
+		off += n
+		field, wire := tag>>3, tag&7
+		if field == 0 {
+			return fmt.Errorf("pgo: field number 0 at offset %d", off)
+		}
+		switch wire {
+		case 0: // varint
+			v, n := binary.Uvarint(raw[off:])
+			if n <= 0 {
+				return fmt.Errorf("pgo: truncated varint in field %d", field)
+			}
+			if field == fieldTimeNanos && v == 0 {
+				return errors.New("pgo: profile carries a zero time_nanos")
+			}
+			off += n
+		case 1: // fixed64
+			if off+8 > len(raw) {
+				return fmt.Errorf("pgo: truncated fixed64 in field %d", field)
+			}
+			off += 8
+		case 2: // length-delimited
+			l, n := binary.Uvarint(raw[off:])
+			if n <= 0 || l > uint64(len(raw)-off-n) {
+				return fmt.Errorf("pgo: truncated length-delimited field %d", field)
+			}
+			off += n + int(l)
+			if field == fieldSampleType {
+				sawSampleType = true
+			}
+		case 5: // fixed32
+			if off+4 > len(raw) {
+				return fmt.Errorf("pgo: truncated fixed32 in field %d", field)
+			}
+			off += 4
+		default:
+			return fmt.Errorf("pgo: field %d has unsupported wire type %d", field, wire)
+		}
+	}
+	if !sawSampleType {
+		return errors.New("pgo: profile has no sample_type — not a pprof proto")
+	}
+	return nil
+}

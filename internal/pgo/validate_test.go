@@ -1,0 +1,64 @@
+package pgo
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"testing"
+	"time"
+)
+
+func TestValidateRealCapture(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	go spin(60 * time.Millisecond)
+	data, err := c.CaptureOnce(context.Background(), 60*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateProfile(data); err != nil {
+		t.Fatalf("real runtime/pprof capture rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	gz := func(raw []byte) []byte {
+		var out bytes.Buffer
+		zw := gzip.NewWriter(&out)
+		zw.Write(raw)
+		zw.Close()
+		return out.Bytes()
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"not gzip", []byte("plain text, definitely not a profile")},
+		{"gzip of nothing", gz(nil)},
+		{"gzip of garbage", gz([]byte{0xff, 0xff, 0xff})},
+		// A tag announcing a length-delimited field longer than the buffer.
+		{"truncated length-delimited", gz([]byte{1<<3 | 2, 0x7f, 0x01})},
+		// Valid wire structure but no sample_type anywhere.
+		{"no sample_type", gz([]byte{9 << 3, 0x01})},
+		// Field number 0 is illegal in protobuf.
+		{"field zero", gz([]byte{0x02, 0x00})},
+	}
+	for _, tc := range cases {
+		if err := ValidateProfile(tc.data); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestValidateAcceptsMinimalProfile(t *testing.T) {
+	if err := ValidateProfile(fakeProfile(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateProfile(fakeProfile(t, 1024)); err != nil {
+		t.Fatal(err)
+	}
+}

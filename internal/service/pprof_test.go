@@ -1,0 +1,178 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"aptget/internal/pgo"
+)
+
+func getPprof(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestOnDemandCaptureOutlivesRequestTimeout: a capture longer than the
+// service's per-request deadline must still complete — /v1/pprof/cpu
+// runs under its own capture-scoped timeout, outside the TimeoutHandler
+// that kills ordinary requests.
+func TestOnDemandCaptureOutlivesRequestTimeout(t *testing.T) {
+	srv := New(Config{RequestTimeout: 50 * time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Control: an ordinary endpoint under the same server does get the
+	// short deadline (TimeoutHandler answers 503 on expiry); the capture
+	// below taking 6x that deadline must not.
+	start := time.Now()
+	resp, data := getPprof(t, ts, "/v1/pprof/cpu?seconds=0.3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("capture = %d (%s), want 200", resp.StatusCode, data)
+	}
+	if el := time.Since(start); el < 300*time.Millisecond {
+		t.Fatalf("capture returned after %s, before the requested window elapsed", el)
+	}
+	if err := pgo.ValidateProfile(data); err != nil {
+		t.Fatalf("served capture does not validate: %v", err)
+	}
+	if got := resp.Header.Get(HeaderBuild); got != pgo.BuildID() {
+		t.Fatalf("%s = %q, want %q", HeaderBuild, got, pgo.BuildID())
+	}
+
+	if m := getMetrics(t, ts); m.Counters["pgo_captures_taken"] != 1 {
+		t.Fatalf("pgo_captures_taken = %d, want 1", m.Counters["pgo_captures_taken"])
+	}
+}
+
+func TestOnDemandCaptureBadSeconds(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, q := range []string{"seconds=0", "seconds=-1", "seconds=zebra"} {
+		if resp, _ := getPprof(t, ts, "/v1/pprof/cpu?"+q); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestMergedServesStoredCapture: store=1 persists an on-demand capture,
+// and /v1/pprof/merged serves those exact bytes back with the build and
+// artifact identified; without an artifact store both store=1 and merged
+// are refused.
+func TestMergedServesStoredCapture(t *testing.T) {
+	capt, err := pgo.New(pgo.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Capturer: capt})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, captured := getPprof(t, ts, "/v1/pprof/cpu?seconds=0.05&store=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("capture+store = %d, want 200", resp.StatusCode)
+	}
+	artName := resp.Header.Get(HeaderArtifact)
+	if artName == "" {
+		t.Fatalf("stored capture carries no %s header", HeaderArtifact)
+	}
+
+	resp, merged := getPprof(t, ts, "/v1/pprof/merged")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("merged = %d (%s), want 200", resp.StatusCode, merged)
+	}
+	if string(merged) != string(captured) {
+		t.Fatal("merged bytes differ from the stored capture")
+	}
+	if got := resp.Header.Get(HeaderArtifact); got != artName {
+		t.Fatalf("merged served artifact %q, want %q", got, artName)
+	}
+	if got := resp.Header.Get(HeaderBuild); got != pgo.BuildID() {
+		t.Fatalf("merged %s = %q, want %q", HeaderBuild, got, pgo.BuildID())
+	}
+	if err := pgo.ValidateProfile(merged); err != nil {
+		t.Fatalf("merged profile does not validate: %v", err)
+	}
+
+	m := getMetrics(t, ts)
+	if m.Counters["pgo_store_puts"] != 1 || m.Counters["pgo_merged_served"] != 1 {
+		t.Fatalf("pgo counters = %v", m.Counters)
+	}
+}
+
+func TestMergedWithoutStoreIs404(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if resp, _ := getPprof(t, ts, "/v1/pprof/merged"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("merged without store = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := getPprof(t, ts, "/v1/pprof/cpu?seconds=0.05&store=1"); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("store=1 without store = %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestMergedEmptyStoreIs404(t *testing.T) {
+	capt, err := pgo.New(pgo.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Capturer: capt})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if resp, _ := getPprof(t, ts, "/v1/pprof/merged"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("merged on empty store = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHealthzReportsBuildIdentity: healthz must say which build is
+// serving and that this (test) binary is not PGO-built.
+func TestHealthzReportsBuildIdentity(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := getPprof(t, ts, "/v1/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var h struct {
+		Status string         `json:"status"`
+		Build  pgo.BinaryInfo `json:"build"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q", h.Status)
+	}
+	if h.Build.ID != pgo.BuildID() {
+		t.Fatalf("healthz build id = %q, want %q", h.Build.ID, pgo.BuildID())
+	}
+	if h.Build.PGOBuilt {
+		t.Fatal("test binary claims to be PGO-built")
+	}
+	if h.Build.GoVersion == "" {
+		t.Fatal("healthz build carries no go version")
+	}
+}
